@@ -1,0 +1,177 @@
+// Command radbench regenerates every table and figure in the paper's
+// evaluation and prints them in the paper's layout.
+//
+// Usage:
+//
+//	radbench [-seed N] [-scale F] [-only fig4,fig5a,fig5b,fig6,table1,fig7a,fig7b,fig7c,fig7d]
+//
+// fig4 runs in real time over loopback TCP (≈ a minute at full size); the
+// remaining experiments run on a synthesized dataset in virtual time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rad"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "radbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("radbench", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 11, "campaign seed (drives every random stream)")
+	scale := fs.Float64("scale", 1.0, "unsupervised-bulk scale (1.0 = the full 128,785-object dataset)")
+	fromFile := fs.String("from", "", "analyze an exported commands.jsonl instead of generating (fig5a/fig5b/fig6/table1/rq1/ablations)")
+	only := fs.String("only", "", "comma-separated experiment subset (default: all)")
+	fig4Seqs := fs.Int("fig4-sequences", 6, "fig4: joystick button-press sequences per mode")
+	fig4Cmds := fs.Int("fig4-commands", 30, "fig4: ARM commands per sequence")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	var ds *rad.Dataset
+	needDataset := sel("fig5a") || sel("fig5b") || sel("fig6") || sel("table1")
+	if needDataset {
+		var err error
+		if *fromFile != "" {
+			fmt.Printf("loading RAD from %s...\n", *fromFile)
+			ds, err = loadDataset(*fromFile)
+		} else {
+			fmt.Printf("generating RAD (seed=%d scale=%.2f)...\n", *seed, *scale)
+			ds, err = rad.GenerateDataset(rad.GenerateConfig{Seed: *seed, Scale: *scale})
+		}
+		if err != nil {
+			return fmt.Errorf("dataset: %w", err)
+		}
+		fmt.Printf("dataset: %d trace objects, %d supervised runs\n\n", ds.Store.Len(), len(ds.Runs))
+	}
+
+	if sel("fig4") {
+		fmt.Println("running Fig. 4 latency experiment over loopback TCP (real time)...")
+		res, err := rad.Fig4ResponseTime(rad.Fig4Config{
+			Sequences: *fig4Seqs, CommandsPerSequence: *fig4Cmds, Seed: *seed,
+		})
+		if err != nil {
+			return fmt.Errorf("fig4: %w", err)
+		}
+		fmt.Println(rad.RenderFig4(res))
+	}
+	if sel("fig5a") {
+		fmt.Println(rad.RenderFig5a(rad.Fig5aCommandDistribution(ds)))
+	}
+	if sel("fig5b") {
+		fmt.Println(rad.RenderFig5b(rad.Fig5bTopNGrams(ds, nil, 10)))
+	}
+	if sel("fig6") {
+		fmt.Println(rad.RenderFig6(rad.Fig6SimilarityMatrix(ds)))
+	}
+	if sel("table1") {
+		fmt.Println(rad.RenderTableI(rad.TableIPerplexityIDS(ds, rad.TableIConfig{})))
+	}
+	if sel("fig7a") {
+		res, err := rad.Fig7aSegments(*seed)
+		if err != nil {
+			return fmt.Errorf("fig7a: %w", err)
+		}
+		fmt.Print(renderFig7a(res))
+	}
+	if sel("fig7b") {
+		res, err := rad.Fig7bSolids(*seed)
+		if err != nil {
+			return fmt.Errorf("fig7b: %w", err)
+		}
+		fmt.Print(renderFig7b(res))
+	}
+	if sel("fig7c") {
+		res, err := rad.Fig7cVelocities(*seed)
+		if err != nil {
+			return fmt.Errorf("fig7c: %w", err)
+		}
+		fmt.Print(renderFig7c(res))
+	}
+	if sel("fig7d") {
+		res, err := rad.Fig7dWeights(*seed)
+		if err != nil {
+			return fmt.Errorf("fig7d: %w", err)
+		}
+		fmt.Print(renderFig7d(res))
+	}
+	if sel("ablations") && len(want) > 0 {
+		fmt.Println("running ablation studies (smoothing, Jenks space, streaming window)...")
+		if ds == nil {
+			var err error
+			ds, err = rad.GenerateDataset(rad.GenerateConfig{Seed: *seed, Scale: *scale})
+			if err != nil {
+				return fmt.Errorf("generate dataset: %w", err)
+			}
+		}
+		sm := rad.AblationSmoothing(ds, nil)
+		js := rad.AblationJenksSpace(ds)
+		wr, err := rad.AblationStreamWindow(ds, nil)
+		if err != nil {
+			return fmt.Errorf("ablations: %w", err)
+		}
+		fmt.Println(rad.RenderAblations(sm, js, wr))
+	}
+	if sel("rq1") && len(want) > 0 {
+		if ds == nil {
+			var err error
+			ds, err = rad.GenerateDataset(rad.GenerateConfig{Seed: *seed, Scale: *scale})
+			if err != nil {
+				return fmt.Errorf("generate dataset: %w", err)
+			}
+		}
+		res, err := rad.RQ1Classification(ds)
+		if err != nil {
+			return fmt.Errorf("rq1: %w", err)
+		}
+		fmt.Println(rad.RenderRQ1(res))
+	}
+	if sel("powerids") && len(want) > 0 {
+		fmt.Println("running the power side-channel IDS benchmark (RQ3)...")
+		rows, err := rad.PowerIDSBenchmark(*seed)
+		if err != nil {
+			return fmt.Errorf("power ids: %w", err)
+		}
+		fmt.Println(rad.RenderPowerIDS(rows))
+	}
+	if sel("attacks") && len(want) > 0 {
+		fmt.Println("running the attack benchmark (6 attack families vs. the P2 workload)...")
+		rows, err := rad.AttackBenchmark(*seed, 3)
+		if err != nil {
+			return fmt.Errorf("attack benchmark: %w", err)
+		}
+		fmt.Println(rad.RenderAttackBench(rows))
+	}
+	return nil
+}
+
+// loadDataset reads an exported commands.jsonl and rebuilds the Dataset view.
+func loadDataset(path string) (*rad.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	records, err := rad.ReadTraceJSONL(f)
+	if err != nil {
+		return nil, err
+	}
+	return rad.DatasetFromRecords(records)
+}

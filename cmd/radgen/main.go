@@ -1,0 +1,167 @@
+// Command radgen synthesizes the Robotic Arm Dataset and writes it to disk:
+// the command dataset as CSV and/or JSONL, the supervised-run index, and the
+// power dataset of the supervised P2 runs as CSV.
+//
+// Usage:
+//
+//	radgen [-seed N] [-scale F] [-out DIR] [-format csv|jsonl|both]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"rad"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "radgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("radgen", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 11, "campaign seed")
+	scale := fs.Float64("scale", 1.0, "unsupervised-bulk scale (1.0 = full 128,785 objects)")
+	out := fs.String("out", "rad-dataset", "output directory")
+	format := fs.String("format", "both", "command-dataset format: csv, jsonl, or both")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "csv" && *format != "jsonl" && *format != "both" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	fmt.Printf("generating RAD (seed=%d scale=%.2f)...\n", *seed, *scale)
+	ds, err := rad.GenerateDataset(rad.GenerateConfig{Seed: *seed, Scale: *scale})
+	if err != nil {
+		return fmt.Errorf("generate: %w", err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	records := ds.Store.All()
+	if *format == "csv" || *format == "both" {
+		if err := writeCommandCSV(filepath.Join(*out, "commands.csv"), records); err != nil {
+			return err
+		}
+	}
+	if *format == "jsonl" || *format == "both" {
+		if err := writeCommandJSONL(filepath.Join(*out, "commands.jsonl"), records); err != nil {
+			return err
+		}
+	}
+	if err := writeRunIndex(filepath.Join(*out, "runs.csv"), ds.Runs); err != nil {
+		return err
+	}
+	if err := writePower(*out, ds); err != nil {
+		return err
+	}
+	if err := writeDescription(filepath.Join(*out, "RAD_Description.md"), ds, *seed, *scale); err != nil {
+		return err
+	}
+
+	byDev := ds.Store.CountByDevice()
+	fmt.Printf("wrote %d trace objects to %s\n", len(records), *out)
+	for dev, n := range byDev {
+		fmt.Printf("  %-8s %7d\n", dev, n)
+	}
+	fmt.Printf("supervised runs: %d (3 anomalous); power captures: %d P2 runs\n",
+		len(ds.Runs), len(ds.PowerByRun))
+	return nil
+}
+
+func writeCommandCSV(path string, records []rad.TraceRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := rad.NewCSVWriter(f)
+	for _, r := range records {
+		if err := w.Append(r); err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+	}
+	return w.Flush()
+}
+
+func writeCommandJSONL(path string, records []rad.TraceRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := rad.NewJSONLWriter(f)
+	for _, r := range records {
+		if err := w.Append(r); err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+	}
+	return w.Flush()
+}
+
+func writeRunIndex(path string, runs []rad.RunInfo) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, "id,run,procedure,anomalous,commands,note"); err != nil {
+		return err
+	}
+	for _, r := range runs {
+		if _, err := fmt.Fprintf(f, "%d,%s,%s,%t,%d,%q\n",
+			r.ID, r.Run, r.Procedure, r.Anomalous, r.Commands, r.Note); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePower writes one CSV per supervised P2 power capture with the full
+// 122-property schema.
+func writePower(dir string, ds *rad.Dataset) error {
+	names := rad.PowerPropertyNames()
+	for run, samples := range ds.PowerByRun {
+		path := filepath.Join(dir, "power-"+run+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprint(f, "time"); err != nil {
+			f.Close()
+			return err
+		}
+		for _, n := range names {
+			if _, err := fmt.Fprint(f, ",", n); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		fmt.Fprintln(f)
+		for _, s := range samples {
+			if _, err := fmt.Fprint(f, s.Time.UnixNano()); err != nil {
+				f.Close()
+				return err
+			}
+			for _, v := range s.Values {
+				if _, err := fmt.Fprint(f, ",", strconv.FormatFloat(v, 'g', 8, 64)); err != nil {
+					f.Close()
+					return err
+				}
+			}
+			fmt.Fprintln(f)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

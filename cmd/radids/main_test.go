@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+// TestRadidsEndToEnd drives the whole IDS report at a small scale: batch
+// Table I, streaming detection, RQ1 classification, rule engine,
+// auto-labelling, attack benchmark, and specification mining.
+func TestRadidsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a dataset and runs the attack suite")
+	}
+	if err := run([]string{"-scale", "0.02", "-seed", "11"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadidsRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,151 @@
+// Command radmiddlebox runs a standalone trusted middlebox: it hosts the
+// five simulated Hein Lab devices, serves the wire protocol over TCP, and
+// logs every command to JSONL (and optionally CSV) trace files — the
+// deployment of Fig. 1 with the physical devices replaced by simulators.
+//
+// Usage:
+//
+//	radmiddlebox [-listen ADDR] [-trace FILE.jsonl] [-csv FILE.csv] [-network lan|cloud|none] [-power]
+//
+// Stop with SIGINT/SIGTERM; traces are flushed on shutdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"rad"
+	"rad/internal/device"
+	"rad/internal/device/c9"
+	"rad/internal/device/ika"
+	"rad/internal/device/quantos"
+	"rad/internal/device/tecan"
+	"rad/internal/device/ur3e"
+	"rad/internal/power"
+)
+
+func main() {
+	stop := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
+		close(stop)
+	}()
+	if err := run(os.Args[1:], stop); err != nil {
+		fmt.Fprintln(os.Stderr, "radmiddlebox:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until stop closes (main wires stop to SIGINT/SIGTERM; tests
+// close it directly).
+func run(args []string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("radmiddlebox", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7780", "listen address")
+	tracePath := fs.String("trace", "middlebox-trace.jsonl", "JSONL trace log ('' disables)")
+	csvPath := fs.String("csv", "", "additional CSV trace log ('' disables)")
+	network := fs.String("network", "lan", "emulated network profile: lan, cloud, or none")
+	withPower := fs.Bool("power", true, "attach the UR3e power monitor")
+	seed := fs.Uint64("seed", 1, "device simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var profile rad.NetworkProfile
+	switch *network {
+	case "lan":
+		profile = rad.LANProfile()
+	case "cloud":
+		profile = rad.CloudProfile()
+	case "none":
+	default:
+		return fmt.Errorf("unknown network profile %q", *network)
+	}
+
+	// Trace sinks: in-memory store for stats plus optional file logs.
+	mem := rad.NewTraceStore()
+	sinks := []rad.TraceSink{mem}
+	var flushers []interface{ Flush() error }
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := rad.NewJSONLWriter(f)
+		sinks = append(sinks, w)
+		flushers = append(flushers, w)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := rad.NewCSVWriter(f)
+		sinks = append(sinks, w)
+		flushers = append(flushers, w)
+	}
+
+	clock := rad.RealClock{}
+	core := rad.NewMiddlebox(clock, tee(sinks))
+
+	var monitor *power.Monitor
+	if *withPower {
+		monitor = power.NewMonitor(power.DefaultModel(), clock, *seed^0x5bf0)
+	}
+	core.Register(c9.New(device.NewEnv(clock, *seed+1)))
+	core.Register(ur3e.New(device.NewEnv(clock, *seed+2), monitor))
+	core.Register(ika.New(device.NewEnv(clock, *seed+3)))
+	core.Register(tecan.New(device.NewEnv(clock, *seed+4)))
+	core.Register(quantos.New(device.NewEnv(clock, *seed+5)))
+
+	srv := rad.NewMiddleboxServer(core, profile, *seed+6)
+	addr, err := srv.Start(*listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("middlebox listening on %s (network=%s, power=%t)\n", addr, *network, *withPower)
+	if listenReady != nil {
+		listenReady <- addr
+	}
+	<-stop
+
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	for _, f := range flushers {
+		if err := f.Flush(); err != nil {
+			return err
+		}
+	}
+	stats := core.Stats()
+	fmt.Printf("\nshut down: %d execs, %d trace uploads, %d pings, %d errors; %d records logged\n",
+		stats.Execs, stats.Traces, stats.Pings, stats.Errors, mem.Len())
+	if monitor != nil {
+		fmt.Printf("power samples recorded: %d\n", monitor.Len())
+	}
+	return nil
+}
+
+// listenReady, when set by a test, receives the bound address once the
+// server is listening.
+var listenReady chan string
+
+// tee fans records to all sinks.
+type teeSink []rad.TraceSink
+
+func tee(sinks []rad.TraceSink) rad.TraceSink { return teeSink(sinks) }
+
+func (t teeSink) Append(r rad.TraceRecord) error {
+	for _, s := range t {
+		if err := s.Append(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rad"
+	"rad/internal/device"
+)
+
+// TestMiddleboxServesAndFlushes boots the CLI middlebox, drives a client
+// against it, stops it, and checks the trace file was flushed.
+func TestMiddleboxServesAndFlushes(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	csvPath := filepath.Join(dir, "trace.csv")
+
+	listenReady = make(chan string, 1)
+	defer func() { listenReady = nil }()
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0", "-trace", tracePath, "-csv", csvPath, "-network", "none",
+		}, stop)
+	}()
+
+	var addr string
+	select {
+	case addr = <-listenReady:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never came up")
+	}
+
+	transport, err := rad.DialMiddlebox(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := rad.NewTracingSession(transport, rad.RealClock{}, rad.TracingConfig{DefaultMode: rad.ModeRemote})
+	dev, err := sess.Virtual(rad.DeviceC9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Exec(rad.Command{Name: device.Init}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Exec(rad.Command{Name: "MVNG"}); err != nil {
+		t.Fatal(err)
+	}
+	_ = sess.Close()
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never shut down")
+	}
+
+	// Both trace files carry the two commands.
+	jf, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	recs, err := rad.ReadTraceJSONL(jf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Errorf("jsonl has %d records, want 2", len(recs))
+	}
+	cf, err := os.Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	fromCSV, err := rad.ReadTraceCSV(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromCSV) != 2 {
+		t.Errorf("csv has %d records, want 2", len(fromCSV))
+	}
+}
+
+func TestMiddleboxRejectsBadNetwork(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	if err := run([]string{"-network", "carrier-pigeon", "-trace", ""}, stop); err == nil {
+		t.Error("bad network profile accepted")
+	}
+}

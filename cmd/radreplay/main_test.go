@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rad"
+)
+
+// TestReplayEndToEnd generates a small trace, writes it to JSONL, and
+// replays the C9 portion against a fresh loopback middlebox.
+func TestReplayEndToEnd(t *testing.T) {
+	lab, err := rad.NewVirtualLab(rad.VirtualLabConfig{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rad.RunJoystick(lab.Lab, rad.ProcedureOptions{Run: "j", Seed: 3}, 6)
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := rad.NewJSONLWriter(f)
+	for _, r := range lab.Sink.All() {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	_ = lab.Close()
+
+	if err := run([]string{"-trace", path, "-device", "C9", "-limit", "15", "-network", "none"}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+}
+
+func TestReplayRequiresTrace(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -trace accepted")
+	}
+}
+
+func TestReplayRejectsEmptyFilterResult(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trace", path}); err == nil {
+		t.Error("empty trace accepted")
+	}
+}

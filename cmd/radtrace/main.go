@@ -1,0 +1,96 @@
+// Command radtrace connects to a running middlebox (see cmd/radmiddlebox)
+// and executes one of the paper's procedures against it in REMOTE mode, with
+// every command traced — the lab computer's side of Fig. 1.
+//
+// Usage:
+//
+//	radtrace [-middlebox ADDR] [-procedure P1|P2|P3|P4] [-run LABEL] [-vials N] [-solid NAME]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"rad"
+	"rad/internal/procedure"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "radtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("radtrace", flag.ContinueOnError)
+	addr := fs.String("middlebox", "127.0.0.1:7780", "middlebox address")
+	proc := fs.String("procedure", "P4", "procedure to run: P1, P2, P3, or P4 (joystick)")
+	runLabel := fs.String("run", "", "run label for the traces (empty = unsupervised)")
+	vials := fs.Int("vials", 0, "vials to screen (0 = procedure default)")
+	solid := fs.String("solid", "NABH4", "solid for solubility screens")
+	presses := fs.Int("presses", 20, "button presses for joystick sessions")
+	seed := fs.Uint64("seed", 0, "per-run random seed (0 = nondeterministic)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	transport, err := rad.DialMiddlebox(*addr)
+	if err != nil {
+		return err
+	}
+	clock := rad.RealClock{}
+	sess := rad.NewTracingSession(transport, clock, rad.TracingConfig{DefaultMode: rad.ModeRemote})
+	defer sess.Close()
+
+	// Assemble a Lab whose virtualized devices all point at the remote
+	// middlebox. The raw simulators live on the middlebox, so fault
+	// injection and payload context are unavailable here — exactly the lab
+	// computer's view.
+	lab := &rad.Lab{
+		Clock:   clock,
+		RNG:     rand.New(rand.NewPCG(*seed+1, *seed^0x9e3779b97f4a7c15)),
+		Session: sess,
+	}
+	for name, target := range map[string]*rad.Device{
+		rad.DeviceC9: &lab.C9, rad.DeviceUR3e: &lab.UR3e, rad.DeviceIKA: &lab.IKA,
+		rad.DeviceTecan: &lab.Tecan, rad.DeviceQuantos: &lab.Quantos,
+	} {
+		dev, err := sess.Virtual(name)
+		if err != nil {
+			return err
+		}
+		*target = dev
+	}
+
+	opts := rad.ProcedureOptions{Run: *runLabel, Vials: *vials, Solid: *solid, Seed: *seed}
+	var res rad.ProcedureResult
+	switch *proc {
+	case "P1":
+		res = rad.RunSolubilityN9(lab, opts)
+	case "P2":
+		res = rad.RunSolubilityN9UR(lab, opts)
+	case "P3":
+		res = rad.RunCrystalSolubility(lab, opts)
+	case "P4", "joystick":
+		res = rad.RunJoystick(lab, opts, *presses)
+	default:
+		return fmt.Errorf("unknown procedure %q", *proc)
+	}
+
+	status := "complete"
+	switch {
+	case res.Anomalous:
+		status = "ANOMALOUS (crash)"
+	case errors.Is(res.Err, procedure.Stopped):
+		status = "stopped by operator"
+	case res.Err != nil:
+		return fmt.Errorf("procedure failed: %w", res.Err)
+	}
+	fmt.Printf("procedure %s (%s): %d commands traced, %s\n",
+		res.Procedure, *runLabel, res.Commands, status)
+	return nil
+}

@@ -1,0 +1,39 @@
+// Joystick latency: the Fig. 4 experiment as a runnable program. A middlebox
+// serves the simulated N9 over real loopback TCP; joystick button-press
+// sequences replay against it in DIRECT, REMOTE, and CLOUD deployments; the
+// program prints the response-time box statistics the paper plots.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rad"
+)
+
+func main() {
+	fmt.Println("replaying joystick sequences against a live middlebox (real time)...")
+	res, err := rad.Fig4ResponseTime(rad.Fig4Config{
+		Sequences:           3,
+		CommandsPerSequence: 20,
+		Seed:                1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(rad.RenderFig4(res))
+
+	// The paper's conclusions, computed from the measurement:
+	byMode := map[string]float64{}
+	for _, m := range res.Modes {
+		byMode[m.Mode] = m.Mean
+	}
+	fmt.Println()
+	fmt.Printf("REMOTE overhead over DIRECT: %.2f ms (paper: ≈2 ms)\n",
+		byMode["REMOTE"]-byMode["DIRECT"])
+	fmt.Printf("CLOUD response time: %.1f ms — an order of magnitude above the local modes\n",
+		byMode["CLOUD"])
+	fmt.Println("but still far below robot-arm motion timescales (seconds), so cloud")
+	fmt.Println("deployment of the middlebox is within the realm of feasibility (§III).")
+}

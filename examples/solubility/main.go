@@ -1,0 +1,92 @@
+// Solubility + online IDS: run the paper's P2 workflow (automated solubility
+// with N9 and UR3e) with the streaming perplexity detector watching the
+// middlebox's command stream, then replay the same screen with an injected
+// Quantos-door crash and watch the detector fire mid-run — the §V-B
+// technique "adapted to real time detection".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rad"
+)
+
+func main() {
+	// Phase 1 — collect training data: benign P2 runs in a virtual lab.
+	train, err := rad.NewVirtualLab(rad.VirtualLabConfig{Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer train.Close()
+
+	solids := []string{"NABH4", "CSTI", "GENTISTIC"}
+	var trainingSeqs [][]string
+	for i := 0; i < 9; i++ {
+		solid := solids[i%len(solids)]
+		run := fmt.Sprintf("train-%d", i)
+		res := rad.RunSolubilityN9UR(train.Lab, rad.ProcedureOptions{
+			Run: run, Solid: solid, Seed: uint64(100 + i), Vials: 1 + i%3,
+		})
+		if res.Err != nil {
+			log.Fatalf("training run: %v", res.Err)
+		}
+		seq := train.Sink.CommandSequence(func(r rad.TraceRecord) bool { return r.Run == run })
+		trainingSeqs = append(trainingSeqs, seq)
+		fmt.Printf("training run %s (%s, %d vials): %d commands\n", run, solid, 1+i%3, len(seq))
+	}
+
+	det, err := rad.TrainPerplexityDetector(trainingSeqs, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntrained trigram detector, threshold %.3f\n", det.Threshold())
+
+	// Phase 2 — a benign screen with the detector online.
+	fmt.Println("\n--- benign P2 screen ---")
+	replay(det, 31, nil)
+
+	// Phase 3 — the same screen, but the Quantos front door crashes into
+	// the UR3e partway through (the scenario of RAD's run 17).
+	fmt.Println("\n--- P2 screen with injected Quantos-door crash ---")
+	replay(det, 31, &rad.CrashPlan{
+		Device:        rad.DeviceQuantos,
+		Reason:        "front door crashed into UR3e",
+		AfterCommands: 40,
+	})
+}
+
+// replay runs one P2 screen and feeds its trace through a fresh stream.
+func replay(det *rad.PerplexityDetector, seed uint64, crash *rad.CrashPlan) {
+	lab, err := rad.NewVirtualLab(rad.VirtualLabConfig{Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lab.Close()
+
+	res := rad.RunSolubilityN9UR(lab.Lab, rad.ProcedureOptions{
+		Run: "live", Solid: "NABH4", Seed: 555, Crash: crash,
+	})
+	status := "completed"
+	if res.Anomalous {
+		status = fmt.Sprintf("CRASHED (%v)", res.Err)
+	}
+	fmt.Printf("screen %s after %d commands\n", status, res.Commands)
+
+	stream := det.NewStream(32)
+	seq := lab.Sink.CommandSequence(func(r rad.TraceRecord) bool { return r.Run == "live" })
+	for pos, cmd := range seq {
+		score, alert := stream.Observe(cmd)
+		if alert {
+			fmt.Printf("IDS ALERT at command %d/%d (%s), window perplexity %.2f\n",
+				pos+1, len(seq), cmd, score)
+			// Explain the alert: the transitions the model found least
+			// likely inside the alerting window.
+			for _, tr := range det.MostSurprising(stream.Window(), 3) {
+				fmt.Printf("  surprising: %s\n", tr)
+			}
+			return
+		}
+	}
+	fmt.Println("IDS: no alert over the whole run")
+}

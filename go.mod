@@ -1,0 +1,3 @@
+module rad
+
+go 1.22

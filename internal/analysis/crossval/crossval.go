@@ -1,0 +1,51 @@
+// Package crossval implements the seeded k-fold cross-validation protocol of
+// §V-B: shuffle the runs, divide them into k groups, and hold each group out
+// once as the test set.
+package crossval
+
+import "math/rand/v2"
+
+// Fold is one train/test split of sample indices.
+type Fold struct {
+	Train []int
+	Test  []int
+}
+
+// KFold shuffles indices 0..n-1 with the seeded PRNG and splits them into k
+// folds. The first n%k folds receive one extra sample. It returns nil when
+// k < 2 or n < k.
+func KFold(n, k int, seed uint64) []Fold {
+	if k < 2 || n < k {
+		return nil
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	perm := rng.Perm(n)
+
+	// Slice the permutation into k contiguous groups.
+	groups := make([][]int, k)
+	base, extra := n/k, n%k
+	pos := 0
+	for g := 0; g < k; g++ {
+		size := base
+		if g < extra {
+			size++
+		}
+		groups[g] = perm[pos : pos+size]
+		pos += size
+	}
+
+	folds := make([]Fold, k)
+	for g := 0; g < k; g++ {
+		test := make([]int, len(groups[g]))
+		copy(test, groups[g])
+		var train []int
+		for og, other := range groups {
+			if og == g {
+				continue
+			}
+			train = append(train, other...)
+		}
+		folds[g] = Fold{Train: train, Test: test}
+	}
+	return folds
+}

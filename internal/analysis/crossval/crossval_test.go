@@ -1,0 +1,95 @@
+package crossval
+
+import "testing"
+
+func TestKFoldPaperConfiguration(t *testing.T) {
+	// §V-B: 25 runs, five groups of five.
+	folds := KFold(25, 5, 1)
+	if len(folds) != 5 {
+		t.Fatalf("got %d folds", len(folds))
+	}
+	for i, fold := range folds {
+		if len(fold.Test) != 5 {
+			t.Errorf("fold %d test size = %d, want 5", i, len(fold.Test))
+		}
+		if len(fold.Train) != 20 {
+			t.Errorf("fold %d train size = %d, want 20", i, len(fold.Train))
+		}
+	}
+}
+
+func TestKFoldEveryIndexTestedExactlyOnce(t *testing.T) {
+	folds := KFold(25, 5, 42)
+	seen := make(map[int]int)
+	for _, fold := range folds {
+		for _, idx := range fold.Test {
+			seen[idx]++
+		}
+	}
+	if len(seen) != 25 {
+		t.Fatalf("only %d distinct indices tested", len(seen))
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Errorf("index %d tested %d times", idx, n)
+		}
+	}
+}
+
+func TestKFoldTrainTestDisjoint(t *testing.T) {
+	for _, fold := range KFold(23, 5, 7) {
+		inTest := make(map[int]bool)
+		for _, idx := range fold.Test {
+			inTest[idx] = true
+		}
+		for _, idx := range fold.Train {
+			if inTest[idx] {
+				t.Fatalf("index %d in both train and test", idx)
+			}
+		}
+		if len(fold.Train)+len(fold.Test) != 23 {
+			t.Errorf("fold covers %d indices", len(fold.Train)+len(fold.Test))
+		}
+	}
+}
+
+func TestKFoldUnevenSplit(t *testing.T) {
+	folds := KFold(7, 3, 1)
+	sizes := []int{len(folds[0].Test), len(folds[1].Test), len(folds[2].Test)}
+	if sizes[0] != 3 || sizes[1] != 2 || sizes[2] != 2 {
+		t.Errorf("test sizes = %v, want [3 2 2]", sizes)
+	}
+}
+
+func TestKFoldDeterministicBySeed(t *testing.T) {
+	a := KFold(25, 5, 9)
+	b := KFold(25, 5, 9)
+	for i := range a {
+		for j := range a[i].Test {
+			if a[i].Test[j] != b[i].Test[j] {
+				t.Fatal("same seed produced different folds")
+			}
+		}
+	}
+	c := KFold(25, 5, 10)
+	same := true
+	for i := range a {
+		for j := range a[i].Test {
+			if a[i].Test[j] != c[i].Test[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical folds (suspicious)")
+	}
+}
+
+func TestKFoldDegenerate(t *testing.T) {
+	if KFold(5, 1, 1) != nil {
+		t.Error("k<2 should give nil")
+	}
+	if KFold(2, 5, 1) != nil {
+		t.Error("n<k should give nil")
+	}
+}

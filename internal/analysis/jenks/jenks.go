@@ -1,0 +1,126 @@
+// Package jenks implements Jenks natural breaks optimization [Jenks 1967],
+// the 1-D clustering the paper uses in §V-B to split perplexity scores into
+// the two classes benign and anomalous.
+//
+// The algorithm chooses class boundaries minimizing the sum of within-class
+// squared deviations from the class means (equivalently, maximizing the
+// goodness-of-variance fit). For the two-class case used here an exact O(n²)
+// scan over break positions suffices; the general k-class case uses the
+// classic dynamic program.
+package jenks
+
+import (
+	"math"
+	"sort"
+)
+
+// Breaks returns the k-1 break values partitioning data into k natural
+// classes, using the Jenks-Fisher dynamic program. Each break value is the
+// smallest element of the class above the break. It returns nil when the
+// input has fewer than k points or k < 2.
+func Breaks(data []float64, k int) []float64 {
+	n := len(data)
+	if k < 2 || n < k {
+		return nil
+	}
+	sorted := make([]float64, n)
+	copy(sorted, data)
+	sort.Float64s(sorted)
+
+	// Prefix sums for O(1) within-class variance of any range.
+	prefix := make([]float64, n+1)
+	prefixSq := make([]float64, n+1)
+	for i, v := range sorted {
+		prefix[i+1] = prefix[i] + v
+		prefixSq[i+1] = prefixSq[i] + v*v
+	}
+	// ssd(i, j) = sum of squared deviations of sorted[i:j] (half-open).
+	ssd := func(i, j int) float64 {
+		cnt := float64(j - i)
+		if cnt <= 0 {
+			return 0
+		}
+		sum := prefix[j] - prefix[i]
+		sumSq := prefixSq[j] - prefixSq[i]
+		return sumSq - sum*sum/cnt
+	}
+
+	// dp[c][j] = minimal total SSD splitting sorted[0:j] into c classes.
+	const inf = math.MaxFloat64
+	dp := make([][]float64, k+1)
+	cut := make([][]int, k+1)
+	for c := range dp {
+		dp[c] = make([]float64, n+1)
+		cut[c] = make([]int, n+1)
+		for j := range dp[c] {
+			dp[c][j] = inf
+		}
+	}
+	dp[0][0] = 0
+	for c := 1; c <= k; c++ {
+		for j := c; j <= n; j++ {
+			for i := c - 1; i < j; i++ {
+				if dp[c-1][i] == inf {
+					continue
+				}
+				if cost := dp[c-1][i] + ssd(i, j); cost < dp[c][j] {
+					dp[c][j] = cost
+					cut[c][j] = i
+				}
+			}
+		}
+	}
+
+	// Walk the cuts back to break values.
+	breaks := make([]float64, 0, k-1)
+	j := n
+	for c := k; c > 1; c-- {
+		i := cut[c][j]
+		breaks = append(breaks, sorted[i])
+		j = i
+	}
+	// Reverse into ascending order.
+	for l, r := 0, len(breaks)-1; l < r; l, r = l+1, r-1 {
+		breaks[l], breaks[r] = breaks[r], breaks[l]
+	}
+	return breaks
+}
+
+// Split2 performs the paper's two-class split: it returns the break value
+// and a boolean per input marking membership in the upper class (the
+// anomalous class for perplexity scores, where higher means more
+// surprising). Inputs that are +Inf always land in the upper class.
+//
+// ok is false when the input has fewer than two finite distinct values to
+// split, in which case everything is classified lower (no evidence of two
+// populations).
+func Split2(data []float64) (upper []bool, breakValue float64, ok bool) {
+	upper = make([]bool, len(data))
+	finite := make([]float64, 0, len(data))
+	for _, v := range data {
+		if !math.IsInf(v, 0) && !math.IsNaN(v) {
+			finite = append(finite, v)
+		}
+	}
+	distinct := make(map[float64]struct{}, len(finite))
+	for _, v := range finite {
+		distinct[v] = struct{}{}
+	}
+	if len(distinct) < 2 {
+		// Still flag infinities as anomalous: an unscorable trace is
+		// maximally surprising.
+		for i, v := range data {
+			upper[i] = math.IsInf(v, 1)
+		}
+		return upper, math.NaN(), false
+	}
+	brs := Breaks(finite, 2)
+	if len(brs) != 1 {
+		return upper, math.NaN(), false
+	}
+	breakValue = brs[0]
+	for i, v := range data {
+		upper[i] = math.IsInf(v, 1) || v >= breakValue
+	}
+	return upper, breakValue, true
+}

@@ -1,0 +1,191 @@
+package jenks
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestBreaksTwoObviousClusters(t *testing.T) {
+	data := []float64{1, 1.1, 0.9, 1.05, 10, 10.2, 9.8}
+	brs := Breaks(data, 2)
+	if len(brs) != 1 {
+		t.Fatalf("breaks = %v", brs)
+	}
+	if brs[0] < 2 || brs[0] > 10 {
+		t.Errorf("break at %v, want between clusters", brs[0])
+	}
+}
+
+func TestBreaksThreeClusters(t *testing.T) {
+	data := []float64{1, 1.2, 5, 5.1, 4.9, 20, 20.5}
+	brs := Breaks(data, 3)
+	if len(brs) != 2 {
+		t.Fatalf("breaks = %v", brs)
+	}
+	if !(brs[0] > 1.2 && brs[0] <= 5 && brs[1] > 5.1 && brs[1] <= 20) {
+		t.Errorf("breaks = %v", brs)
+	}
+}
+
+func TestBreaksDegenerateInputs(t *testing.T) {
+	if Breaks([]float64{1, 2}, 1) != nil {
+		t.Error("k<2 should give nil")
+	}
+	if Breaks([]float64{1}, 2) != nil {
+		t.Error("n<k should give nil")
+	}
+	if got := Breaks([]float64{3, 1}, 2); len(got) != 1 || got[0] != 3 {
+		t.Errorf("two points: %v", got)
+	}
+}
+
+func TestSplit2SeparatesPerplexities(t *testing.T) {
+	// Benign perplexities cluster low; anomalies spike.
+	scores := []float64{2.1, 2.3, 1.9, 2.2, 2.0, 8.5, 9.1, 2.4}
+	upper, breakVal, ok := Split2(scores)
+	if !ok {
+		t.Fatal("split failed")
+	}
+	want := []bool{false, false, false, false, false, true, true, false}
+	for i := range want {
+		if upper[i] != want[i] {
+			t.Errorf("score %v classified upper=%v, want %v (break %v)", scores[i], upper[i], want[i], breakVal)
+		}
+	}
+}
+
+func TestSplit2HandlesInfinity(t *testing.T) {
+	scores := []float64{2.0, 2.1, math.Inf(1), 8.0, 2.2}
+	upper, _, ok := Split2(scores)
+	if !ok {
+		t.Fatal("split failed")
+	}
+	if !upper[2] {
+		t.Error("+Inf must always classify anomalous")
+	}
+	if !upper[3] {
+		t.Error("8.0 should be in the upper class")
+	}
+}
+
+func TestSplit2AllEqual(t *testing.T) {
+	upper, _, ok := Split2([]float64{3, 3, 3, 3})
+	if ok {
+		t.Error("constant data cannot split")
+	}
+	for i, u := range upper {
+		if u {
+			t.Errorf("index %d classified upper on constant data", i)
+		}
+	}
+}
+
+func TestSplit2OnlyInfinities(t *testing.T) {
+	upper, _, ok := Split2([]float64{math.Inf(1), math.Inf(1)})
+	if ok {
+		t.Error("no finite data cannot split")
+	}
+	if !upper[0] || !upper[1] {
+		t.Error("infinities still classify anomalous")
+	}
+}
+
+func TestSplit2Empty(t *testing.T) {
+	upper, _, ok := Split2(nil)
+	if ok || len(upper) != 0 {
+		t.Errorf("empty input: %v, %v", upper, ok)
+	}
+}
+
+// Property: the 2-class split never puts a value in the upper class that is
+// smaller than a value in the lower class.
+func TestSplit2MonotoneProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		data := make([]float64, len(raw))
+		for i, r := range raw {
+			data[i] = float64(r) / 100
+		}
+		upper, _, ok := Split2(data)
+		if !ok {
+			return true
+		}
+		maxLower, minUpper := math.Inf(-1), math.Inf(1)
+		for i, u := range upper {
+			if u {
+				minUpper = math.Min(minUpper, data[i])
+			} else {
+				maxLower = math.Max(maxLower, data[i])
+			}
+		}
+		return maxLower <= minUpper
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the dynamic program's 2-class split minimizes total within-class
+// SSD over all possible cut positions (checked against brute force).
+func TestBreaks2OptimalProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.IntN(20)
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.Float64() * 10
+		}
+		brs := Breaks(data, 2)
+		if len(brs) != 1 {
+			t.Fatalf("trial %d: breaks = %v", trial, brs)
+		}
+		sorted := append([]float64(nil), data...)
+		sortFloats(sorted)
+		best := math.Inf(1)
+		for cut := 1; cut < n; cut++ {
+			if s := ssd(sorted[:cut]) + ssd(sorted[cut:]); s < best {
+				best = s
+			}
+		}
+		// Find the SSD of the returned break.
+		cutIdx := 0
+		for i, v := range sorted {
+			if v == brs[0] {
+				cutIdx = i
+				break
+			}
+		}
+		got := ssd(sorted[:cutIdx]) + ssd(sorted[cutIdx:])
+		if got > best+1e-9 {
+			t.Errorf("trial %d: dp ssd %v > brute force %v", trial, got, best)
+		}
+	}
+}
+
+func ssd(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := 0.0
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	s := 0.0
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return s
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

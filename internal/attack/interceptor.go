@@ -1,0 +1,352 @@
+// Package attack generates anomalous traces for IDS benchmarking — the
+// paper's open problem in §VII: "we need to generate many more anomalous
+// traces for testing, or for benchmarking other IDS. However, doing so in a
+// manner that does not destroy equipment remains an open question." With a
+// simulated lab, equipment is free: this package implements a
+// man-in-the-middle interceptor on the lab-computer → middlebox path and six
+// attack families drawn from the threat models of the work the paper cites
+// (command injection, replay [Pu et al.], speed attacks [Wu et al.],
+// parameter tampering, reordering, and command suppression), plus a scenario
+// runner that produces labelled attacked runs and an evaluation harness for
+// detectors.
+package attack
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+	"sync"
+
+	"rad/internal/tracer"
+	"rad/internal/wire"
+)
+
+// Kind identifies an attack family.
+type Kind int
+
+const (
+	// Injection issues extra commands of the attacker's choosing between
+	// the victim's commands.
+	Injection Kind = iota + 1
+	// Replay re-sends previously observed commands at the wrong time
+	// (Pu et al.'s replay threat model, translated to the command channel).
+	Replay
+	// SpeedTamper multiplies every velocity-bearing argument (C9 SPED,
+	// UR3e move velocities) — Wu et al.'s robot speed attack.
+	SpeedTamper
+	// ParameterTamper rewrites safety-relevant numeric arguments (dosing
+	// target masses, heater setpoints) to dangerous values.
+	ParameterTamper
+	// Reorder swaps adjacent commands in flight.
+	Reorder
+	// Drop suppresses matching commands (e.g. stop commands never reach the
+	// device) while forging success replies to the victim.
+	Drop
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Injection:
+		return "injection"
+	case Replay:
+		return "replay"
+	case SpeedTamper:
+		return "speed-tamper"
+	case ParameterTamper:
+		return "parameter-tamper"
+	case Reorder:
+		return "reorder"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists all attack families.
+func Kinds() []Kind {
+	return []Kind{Injection, Replay, SpeedTamper, ParameterTamper, Reorder, Drop}
+}
+
+// Config parameterizes an interceptor.
+type Config struct {
+	Kind Kind
+	// StartAfter is the number of victim exec commands observed before the
+	// attack becomes active.
+	StartAfter int
+	// Intensity is the per-command attack probability (defaults to 0.3 for
+	// the probabilistic kinds).
+	Intensity float64
+	// Factor scales tampered numeric arguments (defaults: 3.0 for
+	// SpeedTamper, 10.0 for ParameterTamper).
+	Factor float64
+	// Seed drives the attacker's randomness.
+	Seed uint64
+}
+
+// Event records one attacker action, the ground truth an IDS benchmark
+// scores against.
+type Event struct {
+	Kind Kind
+	// AtCommand is the victim command index the action coincided with.
+	AtCommand int
+	// Detail describes the action (injected command, tampered argument, …).
+	Detail string
+}
+
+// Interceptor is a man-in-the-middle on the tracing transport: it forwards
+// the victim's requests to the real middlebox transport, applying the
+// configured attack once active. It implements tracer.Transport.
+type Interceptor struct {
+	next tracer.Transport
+	cfg  Config
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	seen    int            // victim exec commands observed
+	history []wire.Request // recorded prefix, for Replay
+	pending *wire.Request  // buffered request, for Reorder
+	events  []Event
+	// lastProc/lastRun are the victim's current trace labels; a MITM that
+	// can inject commands can trivially copy the victim's metadata, so
+	// injected and replayed commands blend into the victim's run in the
+	// middlebox log.
+	lastProc string
+	lastRun  string
+}
+
+var _ tracer.Transport = (*Interceptor)(nil)
+
+// New wraps a transport with an attack.
+func New(next tracer.Transport, cfg Config) *Interceptor {
+	if cfg.Intensity <= 0 {
+		cfg.Intensity = 0.3
+	}
+	if cfg.Factor <= 0 {
+		switch cfg.Kind {
+		case ParameterTamper:
+			cfg.Factor = 10
+		default:
+			cfg.Factor = 3
+		}
+	}
+	return &Interceptor{
+		next: next,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewPCG(cfg.Seed+0x5eed, cfg.Seed^0x9e3779b97f4a7c15)),
+	}
+}
+
+// Events returns the attacker's action log (ground truth).
+func (a *Interceptor) Events() []Event {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Event, len(a.events))
+	copy(out, a.events)
+	return out
+}
+
+// Close flushes any buffered (reordered) request and closes the inner
+// transport.
+func (a *Interceptor) Close() error {
+	a.mu.Lock()
+	pending := a.pending
+	a.pending = nil
+	a.mu.Unlock()
+	if pending != nil {
+		_, _ = a.next.RoundTrip(*pending)
+	}
+	return a.next.Close()
+}
+
+// RoundTrip implements tracer.Transport. Only exec requests are attacked;
+// pings and DIRECT-mode trace uploads pass through untouched.
+func (a *Interceptor) RoundTrip(req wire.Request) (wire.Reply, error) {
+	if req.Op != wire.OpExec {
+		return a.next.RoundTrip(req)
+	}
+	a.mu.Lock()
+	a.seen++
+	seen := a.seen
+	a.lastProc, a.lastRun = req.Procedure, req.Run
+	active := seen > a.cfg.StartAfter
+	if a.cfg.Kind == Replay && !active {
+		a.history = append(a.history, req)
+	}
+	a.mu.Unlock()
+
+	if !active {
+		return a.next.RoundTrip(req)
+	}
+	switch a.cfg.Kind {
+	case Injection:
+		a.maybeInject(seen)
+		return a.next.RoundTrip(req)
+	case Replay:
+		a.maybeReplay(seen)
+		return a.next.RoundTrip(req)
+	case SpeedTamper:
+		return a.next.RoundTrip(a.tamperSpeed(req, seen))
+	case ParameterTamper:
+		return a.next.RoundTrip(a.tamperParams(req, seen))
+	case Reorder:
+		return a.reorder(req, seen)
+	case Drop:
+		return a.drop(req, seen)
+	default:
+		return a.next.RoundTrip(req)
+	}
+}
+
+// maybeInject sends attacker-chosen commands before the victim's.
+func (a *Interceptor) maybeInject(seen int) {
+	a.mu.Lock()
+	fire := a.rng.Float64() < a.cfg.Intensity
+	var inj wire.Request
+	if fire {
+		// The attacker probes and actuates: toggling the centrifuge, moving
+		// axes, opening the Quantos door.
+		choices := []wire.Request{
+			{Op: wire.OpExec, Device: "C9", Name: "OUTP", Args: []string{"1"}},
+			{Op: wire.OpExec, Device: "C9", Name: "MOVE", Args: []string{strconv.Itoa(a.rng.IntN(4)), f(a.rng.Float64() * 200)}},
+			{Op: wire.OpExec, Device: "C9", Name: "HOME"},
+			{Op: wire.OpExec, Device: "Quantos", Name: "front_door", Args: []string{"open"}},
+			{Op: wire.OpExec, Device: "IKA", Name: "OUT_SP_1", Args: []string{f(200 + a.rng.Float64()*100)}},
+		}
+		inj = choices[a.rng.IntN(len(choices))]
+		inj.Procedure, inj.Run = a.lastProc, a.lastRun
+		a.events = append(a.events, Event{Kind: Injection, AtCommand: seen,
+			Detail: inj.Device + "." + inj.Name})
+	}
+	a.mu.Unlock()
+	if fire {
+		_, _ = a.next.RoundTrip(inj)
+	}
+}
+
+// maybeReplay re-sends a recorded command.
+func (a *Interceptor) maybeReplay(seen int) {
+	a.mu.Lock()
+	fire := len(a.history) > 0 && a.rng.Float64() < a.cfg.Intensity
+	var rep wire.Request
+	if fire {
+		rep = a.history[a.rng.IntN(len(a.history))]
+		rep.Procedure, rep.Run = a.lastProc, a.lastRun
+		a.events = append(a.events, Event{Kind: Replay, AtCommand: seen,
+			Detail: rep.Device + "." + rep.Name})
+	}
+	a.mu.Unlock()
+	if fire {
+		_, _ = a.next.RoundTrip(rep)
+	}
+}
+
+// tamperSpeed scales velocity arguments in flight.
+func (a *Interceptor) tamperSpeed(req wire.Request, seen int) wire.Request {
+	tampered := false
+	out := req
+	out.Args = append([]string(nil), req.Args...)
+	switch {
+	case req.Device == "C9" && req.Name == "SPED" && len(out.Args) == 1:
+		out.Args[0] = scale(out.Args[0], a.cfg.Factor)
+		tampered = true
+	case req.Device == "UR3e" && (req.Name == "move_to_location" || req.Name == "move_circular") && len(out.Args) == 2:
+		out.Args[1] = scale(out.Args[1], a.cfg.Factor)
+		tampered = true
+	case req.Device == "UR3e" && req.Name == "move_joints" && len(out.Args) == 7:
+		out.Args[6] = scale(out.Args[6], a.cfg.Factor)
+		tampered = true
+	}
+	if tampered {
+		a.mu.Lock()
+		a.events = append(a.events, Event{Kind: SpeedTamper, AtCommand: seen,
+			Detail: req.Device + "." + req.Name + " ×" + f(a.cfg.Factor)})
+		a.mu.Unlock()
+	}
+	return out
+}
+
+// tamperParams rewrites safety-relevant setpoints.
+func (a *Interceptor) tamperParams(req wire.Request, seen int) wire.Request {
+	tampered := false
+	out := req
+	out.Args = append([]string(nil), req.Args...)
+	switch {
+	case req.Device == "Quantos" && req.Name == "target_mass" && len(out.Args) == 1:
+		out.Args[0] = scale(out.Args[0], a.cfg.Factor)
+		tampered = true
+	case req.Device == "IKA" && (req.Name == "OUT_SP_1" || req.Name == "OUT_SP_4") && len(out.Args) == 1:
+		out.Args[0] = scale(out.Args[0], a.cfg.Factor)
+		tampered = true
+	case req.Device == "Tecan" && req.Name == "A" && len(out.Args) == 1:
+		out.Args[0] = scale(out.Args[0], a.cfg.Factor)
+		tampered = true
+	}
+	if tampered {
+		a.mu.Lock()
+		a.events = append(a.events, Event{Kind: ParameterTamper, AtCommand: seen,
+			Detail: req.Device + "." + req.Name + " ×" + f(a.cfg.Factor)})
+		a.mu.Unlock()
+	}
+	return out
+}
+
+// reorder buffers every other command and sends the pair swapped.
+func (a *Interceptor) reorder(req wire.Request, seen int) (wire.Reply, error) {
+	a.mu.Lock()
+	if a.pending == nil {
+		if a.rng.Float64() < a.cfg.Intensity {
+			// Hold this request; it will be sent after its successor.
+			held := req
+			a.pending = &held
+			a.events = append(a.events, Event{Kind: Reorder, AtCommand: seen,
+				Detail: req.Device + "." + req.Name + " delayed"})
+			a.mu.Unlock()
+			// Forge an immediate success to the victim.
+			return wire.Reply{ID: req.ID, Value: "ok"}, nil
+		}
+		a.mu.Unlock()
+		return a.next.RoundTrip(req)
+	}
+	held := *a.pending
+	a.pending = nil
+	a.mu.Unlock()
+	// Send the newer request first, then the held one.
+	reply, err := a.next.RoundTrip(req)
+	_, _ = a.next.RoundTrip(held)
+	return reply, err
+}
+
+// drop suppresses stop/safety commands, forging success replies.
+func (a *Interceptor) drop(req wire.Request, seen int) (wire.Reply, error) {
+	victim := (req.Device == "IKA" && (req.Name == "STOP_1" || req.Name == "STOP_4")) ||
+		(req.Device == "Tecan" && req.Name == "G") ||
+		(req.Device == "UR3e" && req.Name == "open_gripper")
+	if !victim {
+		return a.next.RoundTrip(req)
+	}
+	a.mu.Lock()
+	fire := a.rng.Float64() < a.cfg.Intensity*2
+	if fire {
+		a.events = append(a.events, Event{Kind: Drop, AtCommand: seen,
+			Detail: req.Device + "." + req.Name + " suppressed"})
+	}
+	a.mu.Unlock()
+	if !fire {
+		return a.next.RoundTrip(req)
+	}
+	return wire.Reply{ID: req.ID, Value: "ok"}, nil
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+
+// scale multiplies a numeric argument string, leaving unparsable arguments
+// untouched.
+func scale(arg string, factor float64) string {
+	v, err := strconv.ParseFloat(arg, 64)
+	if err != nil {
+		return arg
+	}
+	return strconv.FormatFloat(v*factor, 'f', -1, 64)
+}

@@ -1,0 +1,108 @@
+package device
+
+// CommandSpec describes one of the 52 command types observed in the command
+// dataset (Fig. 5a). Readable is the human-readable name the paper prints in
+// parentheses for non-intuitive command names.
+type CommandSpec struct {
+	Device   string
+	Name     string
+	Readable string
+	// Mutating reports whether the command changes device state (used by the
+	// rule-based IDS to distinguish reads from actuations).
+	Mutating bool
+}
+
+// Key returns the canonical "Device.Name" identifier for the command type.
+func (s CommandSpec) Key() string { return s.Device + "." + s.Name }
+
+// Catalog returns the full 52-command catalog, grouped by device in Fig. 5(a)
+// order. A handful of names are only partially legible in the paper's figure;
+// DESIGN.md §4 documents the approximation (per-device totals and all legible
+// names are preserved).
+func Catalog() []CommandSpec {
+	return []CommandSpec{
+		// UR3e (6 command types).
+		{UR3e, "move_joints", "move_joints", true},
+		{UR3e, "move_to_location", "move_to_location", true},
+		{UR3e, "open_gripper", "open_gripper", true},
+		{UR3e, Init, "init UR3Arm", true},
+		{UR3e, "close_gripper", "close_gripper", true},
+		{UR3e, "move_circular", "move_circular", true},
+
+		// Tecan Cavro XLP6000 syringe pump (11 command types).
+		{Tecan, "Q", "get_status", false},
+		{Tecan, "P", "set_distance", true},
+		{Tecan, "V", "set_velocity", true},
+		{Tecan, "I", "set_valve_position", true},
+		{Tecan, "A", "set_position", true},
+		{Tecan, Init, "init Tecan", true},
+		{Tecan, "G", "stop_batch_command", true},
+		{Tecan, "g", "start_batch_command", true},
+		{Tecan, "k", "set_dead_volume", true},
+		{Tecan, "L", "set_slope_code", true},
+		{Tecan, "Z", "set_home_position", true},
+
+		// IKA C-MAG HS7 stirrer/heater (13 command types).
+		{IKA, "IN_PV_4", "read_stirring_speed", false},
+		{IKA, "IN_SP_4", "read_rated_speed", false},
+		{IKA, "IN_NAME", "read_device_name", false},
+		{IKA, "IN_SP_1", "read_rated_temperature", false},
+		{IKA, "STOP_4", "stop_the_motor", true},
+		{IKA, "STOP_1", "stop_the_heater", true},
+		{IKA, "IN_PV_1", "read_external_sensor", false},
+		{IKA, "IN_PV_2", "read_hotplate_sensor", false},
+		{IKA, Init, "init IKA", true},
+		{IKA, "OUT_SP_4", "set_speed", true},
+		{IKA, "START_4", "start_the_motor", true},
+		{IKA, "START_1", "start_the_heater", true},
+		{IKA, "OUT_SP_1", "set_temperature", true},
+
+		// C9 controller: N9 robot arm + centrifuge (12 command types).
+		{C9, "MVNG", "get_axes_moving_states", false},
+		{C9, "OUTP", "toggle_centrifuge", true},
+		{C9, "ARM", "move_arm", true},
+		{C9, "BIAS", "set_elbow_bias", true},
+		{C9, "CURR", "get_axis_current", false},
+		{C9, "SPED", "set_speed", true},
+		{C9, "HOME", "home_n9", true},
+		{C9, Init, "init C9", true},
+		{C9, "JLEN", "set_gripper_length", true},
+		{C9, "MOVE", "move_axis", true},
+		{C9, "GRIP", "set_gripper", true},
+		{C9, "POSN", "get_axis_position", false},
+
+		// Quantos balance + Arduino z-stage (10 command types).
+		{Quantos, Init, "init Quantos", true},
+		{Quantos, "front_door", "set_door_position", true},
+		{Quantos, "home_z_stage", "home_z_stage", true},
+		{Quantos, "zero", "zero_balance_reading", true},
+		{Quantos, "set_home_direction", "set_home_direction", true},
+		{Quantos, "start_dosing", "start_dosing", true},
+		{Quantos, "target_mass", "target_mass", true},
+		{Quantos, "move_z_axis", "move_z_axis", true},
+		{Quantos, "lock_dosing_pin_position", "lock_dosing_pin_position", true},
+		{Quantos, "unlock_dosing_pin_position", "unlock_dosing_pin_position", true},
+	}
+}
+
+// CatalogByKey indexes the catalog by "Device.Name".
+func CatalogByKey() map[string]CommandSpec {
+	cat := Catalog()
+	m := make(map[string]CommandSpec, len(cat))
+	for _, s := range cat {
+		m[s.Key()] = s
+	}
+	return m
+}
+
+// CommandsFor returns the command specs belonging to one device, in catalog
+// order.
+func CommandsFor(deviceName string) []CommandSpec {
+	var out []CommandSpec
+	for _, s := range Catalog() {
+		if s.Device == deviceName {
+			out = append(out, s)
+		}
+	}
+	return out
+}

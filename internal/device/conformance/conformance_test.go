@@ -1,0 +1,203 @@
+// Package conformance holds cross-device property tests: invariants every
+// simulator must satisfy for arbitrary valid inputs (testing/quick), plus
+// catalog-conformance checks that every one of the 52 commands is actually
+// executable on its device.
+package conformance
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rad/internal/device"
+	"rad/internal/device/c9"
+	"rad/internal/device/ika"
+	"rad/internal/device/quantos"
+	"rad/internal/device/tecan"
+	"rad/internal/device/ur3e"
+	"rad/internal/simclock"
+)
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// TestC9ArmReachesAnyValidTarget: for any target in the workspace, ARM is
+// accepted, MVNG eventually reports stationary, and POSN equals the target.
+func TestC9ArmReachesAnyValidTarget(t *testing.T) {
+	prop := func(xRaw, yRaw, zRaw int16) bool {
+		clock := simclock.NewVirtual(time.Unix(0, 0))
+		dev := c9.New(device.NewEnv(clock, 1))
+		if _, err := dev.Exec(device.Command{Name: device.Init}); err != nil {
+			return false
+		}
+		x := float64(xRaw%300) + 0.5
+		y := float64(yRaw%200) + 0.5
+		z := float64(zRaw%50) + 0.5
+		if _, err := dev.Exec(device.Command{Name: "ARM", Args: []string{f(x), f(y), f(z)}}); err != nil {
+			return false
+		}
+		clock.Advance(time.Hour)
+		if v, err := dev.Exec(device.Command{Name: "MVNG"}); err != nil || v != "0 0 0 0" {
+			return false
+		}
+		got, err := dev.Exec(device.Command{Name: "POSN", Args: []string{"0"}})
+		if err != nil {
+			return false
+		}
+		want := strconv.FormatFloat(x, 'f', 2, 64)
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTecanAnyValidMoveCompletes: any plunger position in range is accepted
+// and the pump returns to idle after enough time.
+func TestTecanAnyValidMoveCompletes(t *testing.T) {
+	prop := func(posRaw uint16, velRaw uint16) bool {
+		clock := simclock.NewVirtual(time.Unix(0, 0))
+		dev := tecan.New(device.NewEnv(clock, 1))
+		if _, err := dev.Exec(device.Command{Name: device.Init}); err != nil {
+			return false
+		}
+		vel := 5 + float64(velRaw%5700)
+		pos := float64(posRaw % 6001)
+		if _, err := dev.Exec(device.Command{Name: "V", Args: []string{f(vel)}}); err != nil {
+			return false
+		}
+		if _, err := dev.Exec(device.Command{Name: "A", Args: []string{f(pos)}}); err != nil {
+			return false
+		}
+		clock.Advance(time.Hour)
+		v, err := dev.Exec(device.Command{Name: "Q"})
+		return err == nil && v == "`"
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIKAConvergesToAnySetpoint: any speed setpoint in range is reached
+// within tolerance after spin-up.
+func TestIKAConvergesToAnySetpoint(t *testing.T) {
+	prop := func(raw uint16) bool {
+		clock := simclock.NewVirtual(time.Unix(0, 0))
+		dev := ika.New(device.NewEnv(clock, 1))
+		if _, err := dev.Exec(device.Command{Name: device.Init}); err != nil {
+			return false
+		}
+		set := 50 + float64(raw%1400)
+		if _, err := dev.Exec(device.Command{Name: "OUT_SP_4", Args: []string{f(set)}}); err != nil {
+			return false
+		}
+		if _, err := dev.Exec(device.Command{Name: "START_4"}); err != nil {
+			return false
+		}
+		clock.Advance(2 * time.Minute)
+		v, err := dev.Exec(device.Command{Name: "IN_PV_4"})
+		if err != nil {
+			return false
+		}
+		got, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return false
+		}
+		diff := got - set
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < set*0.05+10
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuantosDosesWithinTolerance: any target mass doses within ±10%.
+func TestQuantosDosesWithinTolerance(t *testing.T) {
+	prop := func(raw uint16, seed uint64) bool {
+		clock := simclock.NewVirtual(time.Unix(0, 0))
+		dev := quantos.New(device.NewEnv(clock, seed))
+		for _, step := range [][]string{
+			{device.Init}, {"lock_dosing_pin_position"},
+		} {
+			if _, err := dev.Exec(device.Command{Name: step[0], Args: step[1:]}); err != nil {
+				return false
+			}
+		}
+		target := 5 + float64(raw%200)
+		if _, err := dev.Exec(device.Command{Name: "target_mass", Args: []string{f(target)}}); err != nil {
+			return false
+		}
+		v, err := dev.Exec(device.Command{Name: "start_dosing"})
+		if err != nil {
+			return false
+		}
+		dosed, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return false
+		}
+		return dosed > target*0.9 && dosed < target*1.1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEveryCatalogCommandExecutable: all 52 commands run successfully on
+// their device given valid arguments and preconditions.
+func TestEveryCatalogCommandExecutable(t *testing.T) {
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	devices := map[string]device.Device{
+		device.C9:      c9.New(device.NewEnv(clock, 1)),
+		device.UR3e:    ur3e.New(device.NewEnv(clock, 2), nil),
+		device.IKA:     ika.New(device.NewEnv(clock, 3)),
+		device.Tecan:   tecan.New(device.NewEnv(clock, 4)),
+		device.Quantos: quantos.New(device.NewEnv(clock, 5)),
+	}
+	args := map[string][]string{
+		"C9.ARM": {"10", "20", "5"}, "C9.MOVE": {"0", "30"}, "C9.CURR": {"1"},
+		"C9.POSN": {"2"}, "C9.JLEN": {"95"}, "C9.SPED": {"150"}, "C9.BIAS": {"0.2"},
+		"C9.GRIP": {"open"}, "C9.OUTP": {"1"},
+		"UR3e.move_joints":      {"0.1", "-1.2", "0.3", "-1.4", "0.1", "0"},
+		"UR3e.move_to_location": {"L1"}, "UR3e.move_circular": {"L2"},
+		"Tecan.A": {"1000"}, "Tecan.P": {"10"}, "Tecan.V": {"1200"}, "Tecan.I": {"2"},
+		"Tecan.k": {"5"}, "Tecan.L": {"14"},
+		"IKA.OUT_SP_1": {"60"}, "IKA.OUT_SP_4": {"300"},
+		"Quantos.front_door": {"close"}, "Quantos.move_z_axis": {"200"},
+		"Quantos.set_home_direction": {"1"}, "Quantos.target_mass": {"30"},
+	}
+	// Dependencies: g before G; pin locked + door closed + target before
+	// dosing. Run init first for every device, then commands in an order
+	// that satisfies device preconditions.
+	order := map[string]int{
+		"Tecan.g":                            -1, // before G
+		"Quantos.lock_dosing_pin_position":   -1,
+		"Quantos.start_dosing":               1, // after target/lock/close
+		"Quantos.unlock_dosing_pin_position": 2, // after dosing
+	}
+	specs := device.Catalog()
+	for _, dev := range devices {
+		if _, err := dev.Exec(device.Command{Name: device.Init}); err != nil {
+			t.Fatalf("%s init: %v", dev.Name(), err)
+		}
+	}
+	// Stable-sort the catalog by the precedence above.
+	sorted := append([]device.CommandSpec(nil), specs...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && order[sorted[j].Key()] < order[sorted[j-1].Key()]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	for _, spec := range sorted {
+		if spec.Name == device.Init {
+			continue // already executed
+		}
+		dev := devices[spec.Device]
+		if _, err := dev.Exec(device.Command{Name: spec.Name, Args: args[spec.Key()]}); err != nil {
+			t.Errorf("catalog command %s failed: %v", spec.Key(), err)
+		}
+		clock.Advance(30 * time.Second) // settle asynchronous motions
+	}
+}

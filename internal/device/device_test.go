@@ -1,0 +1,125 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"rad/internal/simclock"
+)
+
+func TestCatalogHas52Commands(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 52 {
+		t.Fatalf("catalog has %d commands, paper reports 52", len(cat))
+	}
+}
+
+func TestCatalogKeysUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, s := range Catalog() {
+		k := s.Key()
+		if seen[k] {
+			t.Errorf("duplicate catalog key %q", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestCatalogPerDeviceCounts(t *testing.T) {
+	want := map[string]int{C9: 12, UR3e: 6, IKA: 13, Tecan: 11, Quantos: 10}
+	got := make(map[string]int)
+	for _, s := range Catalog() {
+		got[s.Device]++
+	}
+	for dev, n := range want {
+		if got[dev] != n {
+			t.Errorf("%s: got %d command types, want %d", dev, got[dev], n)
+		}
+	}
+}
+
+func TestCatalogEveryDeviceHasInit(t *testing.T) {
+	hasInit := make(map[string]bool)
+	for _, s := range Catalog() {
+		if s.Name == Init {
+			hasInit[s.Device] = true
+		}
+	}
+	for _, dev := range Names() {
+		if !hasInit[dev] {
+			t.Errorf("%s: catalog missing %s", dev, Init)
+		}
+	}
+}
+
+func TestCommandsForFiltersAndPreservesOrder(t *testing.T) {
+	cmds := CommandsFor(Tecan)
+	if len(cmds) != 11 {
+		t.Fatalf("Tecan: got %d commands, want 11", len(cmds))
+	}
+	if cmds[0].Name != "Q" {
+		t.Errorf("first Tecan command = %q, want Q (catalog order)", cmds[0].Name)
+	}
+	for _, c := range cmds {
+		if c.Device != Tecan {
+			t.Errorf("CommandsFor(Tecan) returned %q", c.Device)
+		}
+	}
+}
+
+func TestCatalogByKeyLookup(t *testing.T) {
+	m := CatalogByKey()
+	s, ok := m["C9.ARM"]
+	if !ok {
+		t.Fatal("C9.ARM missing from catalog index")
+	}
+	if s.Readable != "move_arm" {
+		t.Errorf("C9.ARM readable = %q, want move_arm", s.Readable)
+	}
+	if !s.Mutating {
+		t.Error("C9.ARM should be mutating")
+	}
+	if q := m["Tecan.Q"]; q.Mutating {
+		t.Error("Tecan.Q (get_status) should not be mutating")
+	}
+}
+
+func TestCommandString(t *testing.T) {
+	c := Command{Device: C9, Name: "ARM", Args: []string{"10", "20"}}
+	if got, want := c.String(), "C9.ARM(10, 20)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestEnvSpendAdvancesVirtualClock(t *testing.T) {
+	start := time.Date(2021, 9, 1, 9, 0, 0, 0, time.UTC)
+	clock := simclock.NewVirtual(start)
+	env := NewEnv(clock, 1)
+	env.Spend(5*time.Millisecond, 0)
+	if got := clock.Now().Sub(start); got != 5*time.Millisecond {
+		t.Errorf("clock advanced %v, want 5ms", got)
+	}
+	env.Spend(time.Millisecond, 2*time.Millisecond)
+	adv := clock.Now().Sub(start)
+	if adv < 6*time.Millisecond || adv >= 8*time.Millisecond {
+		t.Errorf("clock advanced %v, want in [6ms, 8ms)", adv)
+	}
+}
+
+func TestEnvDeterministicBySeed(t *testing.T) {
+	a := NewEnv(simclock.NewVirtual(time.Unix(0, 0)), 7)
+	b := NewEnv(simclock.NewVirtual(time.Unix(0, 0)), 7)
+	for i := 0; i < 100; i++ {
+		if x, y := a.Noise(1.0), b.Noise(1.0); x != y {
+			t.Fatalf("sample %d: %v != %v (same seed must give same stream)", i, x, y)
+		}
+	}
+}
+
+func TestFaultErrorMessage(t *testing.T) {
+	err := &FaultError{Device: Quantos, Reason: "front door crashed into UR3e"}
+	want := "Quantos: hardware fault: front door crashed into UR3e"
+	if err.Error() != want {
+		t.Errorf("got %q want %q", err.Error(), want)
+	}
+}

@@ -1,0 +1,140 @@
+package ika
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+	"time"
+
+	"rad/internal/device"
+	"rad/internal/simclock"
+)
+
+func newTestIKA() (*IKA, *simclock.Virtual) {
+	clock := simclock.NewVirtual(time.Date(2021, 10, 1, 9, 0, 0, 0, time.UTC))
+	return New(device.NewEnv(clock, 1)), clock
+}
+
+func exec(t *testing.T, d device.Device, name string, args ...string) string {
+	t.Helper()
+	v, err := d.Exec(device.Command{Device: d.Name(), Name: name, Args: args})
+	if err != nil {
+		t.Fatalf("%s(%v): %v", name, args, err)
+	}
+	return v
+}
+
+func parse(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestRequiresInit(t *testing.T) {
+	k, _ := newTestIKA()
+	if _, err := k.Exec(device.Command{Name: "IN_NAME"}); !errors.Is(err, device.ErrNotConnected) {
+		t.Errorf("want ErrNotConnected, got %v", err)
+	}
+}
+
+func TestDeviceName(t *testing.T) {
+	k, _ := newTestIKA()
+	exec(t, k, device.Init)
+	if got := exec(t, k, "IN_NAME"); got != "C-MAG HS7" {
+		t.Errorf("IN_NAME = %q", got)
+	}
+}
+
+func TestStirringSpeedRampsTowardSetpoint(t *testing.T) {
+	k, clock := newTestIKA()
+	exec(t, k, device.Init)
+	exec(t, k, "OUT_SP_4", "300")
+	if got := parse(t, exec(t, k, "IN_SP_4")); got != 300 {
+		t.Errorf("IN_SP_4 = %v, want 300", got)
+	}
+	// Motor off: actual speed stays near zero.
+	clock.Advance(time.Minute)
+	if got := parse(t, exec(t, k, "IN_PV_4")); got > 20 {
+		t.Errorf("speed %v with motor off", got)
+	}
+	exec(t, k, "START_4")
+	clock.Advance(30 * time.Second) // 6 time constants
+	if got := parse(t, exec(t, k, "IN_PV_4")); got < 280 || got > 320 {
+		t.Errorf("speed %v after spin-up, want ≈300", got)
+	}
+	exec(t, k, "STOP_4")
+	clock.Advance(time.Minute)
+	if got := parse(t, exec(t, k, "IN_PV_4")); got > 20 {
+		t.Errorf("speed %v after stop, want ≈0", got)
+	}
+}
+
+func TestHeaterDynamics(t *testing.T) {
+	k, clock := newTestIKA()
+	exec(t, k, device.Init)
+	exec(t, k, "OUT_SP_1", "80")
+	exec(t, k, "START_1")
+	clock.Advance(20 * time.Minute) // many thermal time constants
+	hot := parse(t, exec(t, k, "IN_PV_2"))
+	if hot < 75 || hot > 85 {
+		t.Errorf("hotplate %v after heating, want ≈80", hot)
+	}
+	ext := parse(t, exec(t, k, "IN_PV_1"))
+	if ext >= hot {
+		t.Errorf("external sensor %v should lag hotplate %v", ext, hot)
+	}
+	exec(t, k, "STOP_1")
+	clock.Advance(time.Hour)
+	cooled := parse(t, exec(t, k, "IN_PV_2"))
+	if cooled > 30 {
+		t.Errorf("hotplate %v after an hour off, want ≈ambient", cooled)
+	}
+}
+
+func TestSetpointValidation(t *testing.T) {
+	k, _ := newTestIKA()
+	exec(t, k, device.Init)
+	bad := []struct {
+		cmd string
+		arg string
+	}{
+		{"OUT_SP_4", "-1"}, {"OUT_SP_4", "9999"}, {"OUT_SP_4", "abc"},
+		{"OUT_SP_1", "-10"}, {"OUT_SP_1", "1000"},
+	}
+	for _, b := range bad {
+		if _, err := k.Exec(device.Command{Name: b.cmd, Args: []string{b.arg}}); !errors.Is(err, device.ErrBadArgs) {
+			t.Errorf("%s(%s): want ErrBadArgs, got %v", b.cmd, b.arg, err)
+		}
+	}
+	if _, err := k.Exec(device.Command{Name: "OUT_SP_4"}); !errors.Is(err, device.ErrBadArgs) {
+		t.Error("OUT_SP_4 with no args should fail")
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	k, _ := newTestIKA()
+	exec(t, k, device.Init)
+	if _, err := k.Exec(device.Command{Name: "EXPLODE"}); !errors.Is(err, device.ErrUnknownCommand) {
+		t.Errorf("want ErrUnknownCommand, got %v", err)
+	}
+}
+
+func TestAllCatalogCommandsImplemented(t *testing.T) {
+	k, _ := newTestIKA()
+	exec(t, k, device.Init)
+	argsFor := map[string][]string{
+		"OUT_SP_1": {"60"},
+		"OUT_SP_4": {"250"},
+	}
+	for _, spec := range device.CommandsFor(device.IKA) {
+		if spec.Name == device.Init {
+			continue
+		}
+		if _, err := k.Exec(device.Command{Name: spec.Name, Args: argsFor[spec.Name]}); err != nil {
+			t.Errorf("catalog command %s failed: %v", spec.Name, err)
+		}
+	}
+}

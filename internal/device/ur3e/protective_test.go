@@ -1,0 +1,54 @@
+package ur3e
+
+import (
+	"errors"
+	"testing"
+)
+
+import (
+	"rad/internal/device"
+)
+
+func TestProtectiveStopOnExcessiveSpeed(t *testing.T) {
+	arm, _, _ := newTestArm()
+	exec(t, arm, device.Init)
+
+	// A move within the safety limit works.
+	exec(t, arm, "move_to_location", "L1", "600")
+
+	// A move beyond it trips the protective stop.
+	_, err := arm.Exec(device.Command{Name: "move_to_location", Args: []string{"L2", "900"}})
+	if !errors.Is(err, ErrProtectiveStop) {
+		t.Fatalf("want ErrProtectiveStop, got %v", err)
+	}
+	// The arm did not move.
+	if got := arm.Pose(); got[0] == -0.40 {
+		t.Error("arm moved despite the protective stop")
+	}
+
+	// Everything is refused until re-initialization — including safe moves
+	// and gripper commands.
+	if _, err := arm.Exec(device.Command{Name: "move_to_location", Args: []string{"L1"}}); !errors.Is(err, ErrProtectiveStop) {
+		t.Errorf("post-stop move: %v", err)
+	}
+	if _, err := arm.Exec(device.Command{Name: "open_gripper"}); !errors.Is(err, ErrProtectiveStop) {
+		t.Errorf("post-stop gripper: %v", err)
+	}
+
+	// Re-initialization clears the stop.
+	exec(t, arm, device.Init)
+	exec(t, arm, "move_to_location", "L1")
+}
+
+// TestSpeedAttackBeyondLimitIsSelfDefeating documents the physical backstop:
+// an aggressive speed attack trips the safety system, which both halts the
+// process and leaves an exception trail in the trace.
+func TestSpeedAttackBeyondLimitIsSelfDefeating(t *testing.T) {
+	arm, _, _ := newTestArm()
+	exec(t, arm, device.Init)
+	// The attacker triples a 250 mm/s move: 750 > 600 trips the stop.
+	_, err := arm.Exec(device.Command{Name: "move_to_location", Args: []string{"L3", "750"}})
+	if !errors.Is(err, ErrProtectiveStop) {
+		t.Fatalf("want ErrProtectiveStop, got %v", err)
+	}
+}

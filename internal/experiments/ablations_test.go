@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationSmoothingShape(t *testing.T) {
+	ds := dataset(t)
+	rows := AblationSmoothing(ds, nil)
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byAlpha := map[float64]SmoothingRow{}
+	for _, r := range rows {
+		byAlpha[r.Alpha] = r
+	}
+	// The default sits in the perfect-recall basin.
+	if r := byAlpha[0.1]; r.Recall != 1.0 {
+		t.Errorf("alpha=0.1 recall %v, want 1.0", r.Recall)
+	}
+	// Plain add-one smoothing performs no better than the default — the
+	// motivation for choosing a small alpha.
+	if byAlpha[1.0].Accuracy > byAlpha[0.1].Accuracy {
+		t.Errorf("alpha=1 accuracy %v beats alpha=0.1 %v",
+			byAlpha[1.0].Accuracy, byAlpha[0.1].Accuracy)
+	}
+}
+
+func TestAblationJenksSpaceShowsLinearFailure(t *testing.T) {
+	ds := dataset(t)
+	rows := AblationJenksSpace(ds)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	logPerfect := true
+	linearWorse := false
+	for _, r := range rows {
+		if r.LogRecall != 1.0 {
+			logPerfect = false
+		}
+		if r.LinearRecall < r.LogRecall {
+			linearWorse = true
+		}
+	}
+	if !logPerfect {
+		t.Error("log-space recall should be 1.0 at every order")
+	}
+	// The documented failure mode: in linear space the extreme run 17 forms
+	// its own class and masks the other anomalies for at least one order.
+	if !linearWorse {
+		t.Error("linear-space Jenks should lose recall at some order (run 17 masking)")
+	}
+}
+
+func TestAblationStreamWindow(t *testing.T) {
+	ds := dataset(t)
+	rows, err := AblationStreamWindow(ds, []int{16, 32, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Detected < 2 {
+			t.Errorf("window %d detected only %d/3 anomalies", r.Window, r.Detected)
+		}
+		if r.FalseAlerts > 6 {
+			t.Errorf("window %d raised %d false alerts", r.Window, r.FalseAlerts)
+		}
+	}
+}
+
+func TestRenderAblations(t *testing.T) {
+	ds := dataset(t)
+	sm := AblationSmoothing(ds, []float64{0.1})
+	js := AblationJenksSpace(ds)
+	wr, err := AblationStreamWindow(ds, []int{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderAblations(sm, js, wr)
+	for _, want := range []string{"smoothing", "Jenks", "window"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q section:\n%s", want, out)
+		}
+	}
+}

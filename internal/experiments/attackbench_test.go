@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAttackBenchmarkShape asserts the benchmark's headline findings: the
+// benign control passes both detectors, every attack family is caught by at
+// least the argument-aware detector, and the speed-tamper attack — which
+// leaves the command-name sequence untouched — separates the two detectors.
+func TestAttackBenchmarkShape(t *testing.T) {
+	rows, err := AttackBenchmark(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("%d rows, want control + 6 attacks", len(rows))
+	}
+	byName := map[string]AttackBenchRow{}
+	for _, r := range rows {
+		byName[r.Scenario] = r
+	}
+
+	control := byName["benign-control"]
+	if control.NameFlagged || control.ArgFlagged {
+		t.Errorf("benign control flagged: %+v", control)
+	}
+	if control.Events != 0 {
+		t.Errorf("benign control has %d events", control.Events)
+	}
+
+	for _, name := range []string{"injection", "replay", "speed-tamper", "parameter-tamper", "reorder", "drop"} {
+		r := byName[name]
+		if r.Events == 0 {
+			t.Errorf("%s: attack never fired", name)
+			continue
+		}
+		if !r.ArgFlagged {
+			t.Errorf("%s: argument-aware detector missed it (%.3f <= %.3f)",
+				name, r.ArgScore, r.ArgThreshold)
+		}
+	}
+
+	// The paper's §VII motivation, demonstrated: a pure argument tamper is
+	// invisible to the name-only detector.
+	st := byName["speed-tamper"]
+	if st.NameFlagged {
+		t.Errorf("speed-tamper flagged by name-only detector (%.3f > %.3f); the attack should be invisible to names",
+			st.NameScore, st.NameThreshold)
+	}
+	if !st.ArgFlagged {
+		t.Errorf("speed-tamper missed by argument-aware detector")
+	}
+
+	out := RenderAttackBench(rows)
+	if !strings.Contains(out, "speed-tamper") || !strings.Contains(out, "thresholds") {
+		t.Errorf("render output incomplete:\n%s", out)
+	}
+}
+
+// TestAttackBenchmarkInvalidOrderDefaults ensures order <= 0 falls back.
+func TestAttackBenchmarkInvalidOrderDefaults(t *testing.T) {
+	rows, err := AttackBenchmark(9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("%d rows", len(rows))
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"rad/internal/analysis/ngram"
+	"rad/internal/device"
+	"rad/internal/rad"
+)
+
+// Fig5aResult is the command-wise distribution of trace objects (Fig. 5a):
+// the 52 per-command counts in figure order and the per-device legend
+// totals.
+type Fig5aResult struct {
+	Commands []rad.CommandCount
+	// DeviceTotals maps device → trace-object count (the legend numbers:
+	// C9 93,231, Tecan 16,279, IKA 11,448, UR3e 5,460, Quantos 2,367 at
+	// full scale).
+	DeviceTotals map[string]int
+	Total        int
+}
+
+// Fig5aCommandDistribution computes the Fig. 5(a) distribution from a
+// generated dataset.
+func Fig5aCommandDistribution(ds *rad.Dataset) Fig5aResult {
+	res := Fig5aResult{
+		Commands:     ds.CommandDistribution(),
+		DeviceTotals: ds.Store.CountByDevice(),
+	}
+	for _, dev := range device.Names() {
+		res.Total += res.DeviceTotals[dev]
+	}
+	return res
+}
+
+// NGramTable is one n's top-k list for Fig. 5(b).
+type NGramTable struct {
+	N   int
+	Top []ngram.Count
+}
+
+// Fig5bTopNGrams computes the paper's Fig. 5(b): the top-k n-grams of the
+// whole command dataset for each requested n (paper: top ten for
+// n ∈ {2,3,4,5}).
+func Fig5bTopNGrams(ds *rad.Dataset, ns []int, k int) []NGramTable {
+	if len(ns) == 0 {
+		ns = []int{2, 3, 4, 5}
+	}
+	if k <= 0 {
+		k = 10
+	}
+	// The paper computes n-grams over command sequences; crossing run
+	// boundaries would fabricate transitions, so the dataset-wide sequence
+	// is split per run/session via the unknown-procedure stream order. The
+	// global stream in collection order is the closest analog of "in RAD".
+	seq := ds.AllSequence()
+	out := make([]NGramTable, 0, len(ns))
+	for _, n := range ns {
+		out = append(out, NGramTable{N: n, Top: ngram.TopK([][]string{seq}, n, k)})
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPowerIDSBenchmark asserts the RQ3 claims quantitatively: benign
+// repeats of enrolled motions are recognized, while velocity changes,
+// hidden payloads, and unknown trajectories are flagged — all from joint-1
+// currents alone.
+func TestPowerIDSBenchmark(t *testing.T) {
+	rows, err := PowerIDSBenchmark(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("%d probes, want 9 (5 repeats + 2 velocities + payload + unknown)", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Correct {
+			t.Errorf("probe %q: expected anomalous=%v, detector said %v (%s)",
+				r.Probe, r.Expect, r.Match.Anomalous, r.Match.Reason)
+		}
+	}
+	// The hidden payload must be caught by amplitude, not shape: the
+	// trajectory is identical to the enrolled one.
+	for _, r := range rows {
+		if r.Probe == "L0-L1 with hidden 1 kg" {
+			if r.Match.Label != "L0-L1" || r.Match.Correlation < 0.95 {
+				t.Errorf("payload probe should still match L0-L1's shape: %+v", r.Match)
+			}
+			if !strings.Contains(r.Match.Reason, "amplitude") {
+				t.Errorf("payload probe flagged for %q, want an amplitude reason", r.Match.Reason)
+			}
+		}
+	}
+	out := RenderPowerIDS(rows)
+	if !strings.Contains(out, "correct verdicts: 9/9") {
+		t.Errorf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rad/internal/ids"
+	"rad/internal/rad"
+)
+
+// This file formalizes §V-A's RQ1 — "can we identify Hein Lab's different
+// scientific procedures in the RAD?" — as a leave-one-out classification
+// experiment over the 25 supervised runs: each run is classified by TF-IDF
+// nearest centroid against the other 24.
+
+// RQ1Row is one run's classification outcome.
+type RQ1Row struct {
+	ID         int
+	Truth      string
+	Predicted  string
+	Similarity float64
+	Correct    bool
+	Note       string
+}
+
+// RQ1Result summarizes the experiment.
+type RQ1Result struct {
+	Rows    []RQ1Row
+	Correct int
+	Total   int
+}
+
+// RQ1Classification runs the leave-one-out protocol.
+func RQ1Classification(ds *rad.Dataset) (RQ1Result, error) {
+	seqs, _ := ds.SupervisedSequences()
+	var res RQ1Result
+	for i := range seqs {
+		var trainSeqs [][]string
+		var trainLabels []string
+		for j := range seqs {
+			if j == i {
+				continue
+			}
+			trainSeqs = append(trainSeqs, seqs[j])
+			trainLabels = append(trainLabels, ds.Runs[j].Procedure)
+		}
+		clf, err := ids.TrainClassifier(trainSeqs, trainLabels)
+		if err != nil {
+			return RQ1Result{}, err
+		}
+		got, sim := clf.Classify(seqs[i])
+		row := RQ1Row{
+			ID: i, Truth: ds.Runs[i].Procedure, Predicted: got,
+			Similarity: sim, Correct: got == ds.Runs[i].Procedure,
+			Note: ds.Runs[i].Note,
+		}
+		if row.Correct {
+			res.Correct++
+		}
+		res.Rows = append(res.Rows, row)
+		res.Total++
+	}
+	return res, nil
+}
+
+// RenderRQ1 formats the experiment, listing only the misclassifications in
+// detail.
+func RenderRQ1(res RQ1Result) string {
+	var b strings.Builder
+	b.WriteString("RQ1 — identifying procedures (leave-one-out TF-IDF nearest centroid)\n")
+	fmt.Fprintf(&b, "correct: %d/%d\n", res.Correct, res.Total)
+	for _, r := range res.Rows {
+		if r.Correct {
+			continue
+		}
+		fmt.Fprintf(&b, "  run %2d: %s classified as %s (sim %.2f) — %s\n",
+			r.ID, r.Truth, r.Predicted, r.Similarity, r.Note)
+	}
+	return b.String()
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRQ1Classification pins the RQ1 result: nearly every run is identified,
+// and the single systematic confusion is run 12 — the P1 run that used the
+// joystick and stopped before dosing, which Fig. 6 already shows clustering
+// with the joystick block.
+func TestRQ1Classification(t *testing.T) {
+	ds := dataset(t)
+	res, err := RQ1Classification(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 25 {
+		t.Fatalf("classified %d runs", res.Total)
+	}
+	if res.Correct < 24 {
+		t.Errorf("only %d/25 identified", res.Correct)
+	}
+	for _, r := range res.Rows {
+		if r.Correct {
+			continue
+		}
+		if r.ID != 12 {
+			t.Errorf("unexpected misclassification: run %d (%s → %s)", r.ID, r.Truth, r.Predicted)
+		}
+		if r.Predicted != "P4" {
+			t.Errorf("run 12 classified as %s, want P4 (joystick-like)", r.Predicted)
+		}
+	}
+	out := RenderRQ1(res)
+	if !strings.Contains(out, "correct: 24/25") && !strings.Contains(out, "correct: 25/25") {
+		t.Errorf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,68 @@
+package ids
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file adds explainability to the perplexity detector: when a run is
+// flagged, the operator needs to know *where* in the command stream the
+// surprise is, not just the score. Surprise returns the transitions the
+// model found least likely, which for RAD's anomalies points straight at the
+// crash epilogue.
+
+// SurprisingTransition is one scored position in a sequence.
+type SurprisingTransition struct {
+	// Index is the position of the transition's target command.
+	Index int
+	// Context is the n-1 commands preceding it.
+	Context []string
+	// Command is the command that surprised the model.
+	Command string
+	// Probability is the model's smoothed conditional probability.
+	Probability float64
+}
+
+// String renders the transition for an alert message.
+func (s SurprisingTransition) String() string {
+	return fmt.Sprintf("#%d %s → %s (p=%.4f)",
+		s.Index, strings.Join(s.Context, " "), s.Command, s.Probability)
+}
+
+// MostSurprising returns the k transitions of seq with the lowest model
+// probability, most surprising first — the explanation attached to an
+// anomaly alert.
+func (d *PerplexityDetector) MostSurprising(seq []string, k int) []SurprisingTransition {
+	if k <= 0 {
+		return nil
+	}
+	order := d.model.Order()
+	var all []SurprisingTransition
+	for i := order - 1; i < len(seq); i++ {
+		ctx := seq[i-(order-1) : i]
+		p := d.model.Prob(ctx, seq[i])
+		all = append(all, SurprisingTransition{
+			Index:       i,
+			Context:     append([]string(nil), ctx...),
+			Command:     seq[i],
+			Probability: p,
+		})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Probability != all[b].Probability {
+			return all[a].Probability < all[b].Probability
+		}
+		return all[a].Index < all[b].Index
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// Window returns a copy of the stream's current window — the commands an
+// alert should display to the operator.
+func (s *Stream) Window() []string {
+	return append([]string(nil), s.window...)
+}

@@ -1,0 +1,76 @@
+package ids
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMostSurprisingPinpointsTheAnomaly(t *testing.T) {
+	det, err := TrainPerplexity(benignTraining(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A benign stream with one injected burst of foreign commands.
+	seq := append(repeat([]string{"ARM", "MVNG", "MVNG"}, 10),
+		"OUTP", "HOME", "OUTP")
+	seq = append(seq, repeat([]string{"ARM", "MVNG", "MVNG"}, 5)...)
+
+	top := det.MostSurprising(seq, 3)
+	if len(top) != 3 {
+		t.Fatalf("%d transitions", len(top))
+	}
+	// All three most-surprising transitions must involve the injected burst
+	// (positions 30-33, either as target or context edge).
+	for _, tr := range top {
+		if tr.Index < 29 || tr.Index > 34 {
+			t.Errorf("surprising transition at %d (%s), expected inside the burst",
+				tr.Index, tr)
+		}
+	}
+	// Ordering: most surprising first.
+	for i := 1; i < len(top); i++ {
+		if top[i].Probability < top[i-1].Probability {
+			t.Error("transitions not sorted by ascending probability")
+		}
+	}
+	// The rendering carries the context arrow.
+	if !strings.Contains(top[0].String(), "→") {
+		t.Errorf("render: %s", top[0])
+	}
+}
+
+func TestMostSurprisingEdgeCases(t *testing.T) {
+	det, err := TrainPerplexity(benignTraining(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := det.MostSurprising([]string{"ARM", "MVNG", "ARM"}, 0); got != nil {
+		t.Errorf("k=0: %v", got)
+	}
+	if got := det.MostSurprising([]string{"ARM"}, 5); got != nil {
+		t.Errorf("too-short sequence: %v", got)
+	}
+	// k larger than available transitions returns all of them.
+	got := det.MostSurprising([]string{"ARM", "MVNG", "ARM", "MVNG"}, 99)
+	if len(got) != 2 {
+		t.Errorf("k overflow: %d transitions", len(got))
+	}
+}
+
+func TestStreamWindowCopy(t *testing.T) {
+	det, err := TrainPerplexity(benignTraining(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := det.NewStream(8)
+	st.Observe("ARM")
+	st.Observe("MVNG")
+	w := st.Window()
+	if len(w) != 2 || w[0] != "ARM" {
+		t.Errorf("window = %v", w)
+	}
+	w[0] = "tampered"
+	if st.Window()[0] != "ARM" {
+		t.Error("Window returned a live reference")
+	}
+}

@@ -1,0 +1,116 @@
+package ids
+
+import (
+	"errors"
+	"math"
+
+	"rad/internal/analysis/stats"
+)
+
+// PowerDetector is the §VI side-channel prototype: it learns reference
+// joint-current signatures for known arm motions and flags traces whose
+// shape or amplitude deviates. Because power can be captured at an outlet,
+// this detector works without any RATracer-style software integration (RQ3).
+type PowerDetector struct {
+	// templates are reference current series per motion label, resampled to
+	// a canonical length.
+	templates map[string][]float64
+	// amplitudes are the reference peak magnitudes per label.
+	amplitudes map[string]float64
+	// length of the canonical resampled template.
+	resampleN int
+	// MinCorrelation is the Pearson threshold below which a trace does not
+	// match any known motion (default 0.9; the paper observes same-
+	// trajectory correlations above 0.97).
+	MinCorrelation float64
+	// AmplitudeTolerance is the allowed relative peak deviation (default
+	// 0.25) before a matching shape is flagged (e.g. an unexpected payload,
+	// Fig. 7d, or velocity change, Fig. 7c).
+	AmplitudeTolerance float64
+}
+
+// ErrNoTemplates is returned when the detector has no reference signatures.
+var ErrNoTemplates = errors.New("ids: no power templates")
+
+// NewPowerDetector creates an empty detector with the default thresholds.
+func NewPowerDetector() *PowerDetector {
+	return &PowerDetector{
+		templates:          make(map[string][]float64),
+		amplitudes:         make(map[string]float64),
+		resampleN:          100,
+		MinCorrelation:     0.9,
+		AmplitudeTolerance: 0.25,
+	}
+}
+
+// Learn stores a reference current series under a motion label. Series
+// shorter than two samples are ignored.
+func (p *PowerDetector) Learn(label string, current []float64) {
+	if len(current) < 2 {
+		return
+	}
+	rs := stats.Resample(current, p.resampleN)
+	if rs == nil {
+		return
+	}
+	p.templates[label] = rs
+	p.amplitudes[label] = stats.MaxAbs(current)
+}
+
+// Match describes how a trace compares to the closest learned signature.
+type Match struct {
+	Label       string
+	Correlation float64
+	// AmplitudeRatio is observed peak / reference peak.
+	AmplitudeRatio float64
+	// Anomalous is set when no template correlates above MinCorrelation, or
+	// the best match's amplitude deviates beyond AmplitudeTolerance.
+	Anomalous bool
+	Reason    string
+}
+
+// Classify matches a current series against the learned signatures.
+func (p *PowerDetector) Classify(current []float64) (Match, error) {
+	if len(p.templates) == 0 {
+		return Match{}, ErrNoTemplates
+	}
+	rs := stats.Resample(current, p.resampleN)
+	if rs == nil {
+		return Match{Anomalous: true, Reason: "trace too short"}, nil
+	}
+	best := Match{Correlation: math.Inf(-1)}
+	for label, tpl := range p.templates {
+		r := stats.Pearson(rs, tpl)
+		if math.IsNaN(r) {
+			continue
+		}
+		if r > best.Correlation {
+			ratio := 0.0
+			if p.amplitudes[label] > 0 {
+				ratio = stats.MaxAbs(current) / p.amplitudes[label]
+			}
+			best = Match{Label: label, Correlation: r, AmplitudeRatio: ratio}
+		}
+	}
+	if math.IsInf(best.Correlation, -1) {
+		return Match{Anomalous: true, Reason: "no comparable template"}, nil
+	}
+	switch {
+	case best.Correlation < p.MinCorrelation:
+		best.Anomalous = true
+		best.Reason = "trajectory shape matches no known motion"
+	case math.Abs(best.AmplitudeRatio-1) > p.AmplitudeTolerance:
+		best.Anomalous = true
+		best.Reason = "amplitude deviates from the reference (unexpected payload or velocity)"
+	}
+	return best, nil
+}
+
+// Labels returns the learned motion labels.
+func (p *PowerDetector) Labels() []string {
+	out := make([]string, 0, len(p.templates))
+	for l := range p.templates {
+		out = append(out, l)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package ids
+
+import (
+	"fmt"
+
+	"rad/internal/device"
+	"rad/internal/store"
+)
+
+// RuleEngine is the first-line, middlebox-resident safeguard of Fig. 1: a
+// set of stateless and stateful rules over the command stream that a
+// restricted-command middlebox can enforce before any learned model exists.
+// The paper notes rule-based IDS alone is insufficient (no accumulated
+// experience covers all attacks, §I) — this engine is the baseline the
+// learned detectors are measured against.
+type RuleEngine struct {
+	catalog map[string]device.CommandSpec
+	// initialized tracks which devices have seen __init__.
+	initialized map[string]bool
+	// maxRate is the per-device command budget per second (0 disables).
+	maxRate float64
+	lastSec map[string]int64
+	inSec   map[string]int
+}
+
+// Violation is one rule hit.
+type Violation struct {
+	Rule   string
+	Record store.Record
+	Detail string
+}
+
+// NewRuleEngine builds an engine enforcing the 52-command catalog, device
+// initialization ordering, and an optional per-device rate limit
+// (commands/second; 0 disables).
+func NewRuleEngine(maxRatePerSec float64) *RuleEngine {
+	return &RuleEngine{
+		catalog:     device.CatalogByKey(),
+		initialized: make(map[string]bool),
+		maxRate:     maxRatePerSec,
+		lastSec:     make(map[string]int64),
+		inSec:       make(map[string]int),
+	}
+}
+
+// Check evaluates one trace record and returns any violations. The engine
+// is stateful: call Check in stream order.
+func (e *RuleEngine) Check(r store.Record) []Violation {
+	var out []Violation
+
+	spec, known := e.catalog[r.Key()]
+	if !known {
+		out = append(out, Violation{
+			Rule: "unknown-command", Record: r,
+			Detail: fmt.Sprintf("%s is not in the restricted command set", r.Key()),
+		})
+	}
+
+	if r.Name == device.Init {
+		e.initialized[r.Device] = true
+	} else if !e.initialized[r.Device] {
+		out = append(out, Violation{
+			Rule: "uninitialized-device", Record: r,
+			Detail: fmt.Sprintf("%s command before %s.__init__", r.Key(), r.Device),
+		})
+	}
+
+	if known && spec.Mutating && r.Exception != "" {
+		out = append(out, Violation{
+			Rule: "actuation-fault", Record: r,
+			Detail: fmt.Sprintf("mutating command %s raised: %s", r.Key(), r.Exception),
+		})
+	}
+
+	if e.maxRate > 0 {
+		sec := r.Time.Unix()
+		if e.lastSec[r.Device] != sec {
+			e.lastSec[r.Device] = sec
+			e.inSec[r.Device] = 0
+		}
+		e.inSec[r.Device]++
+		if float64(e.inSec[r.Device]) > e.maxRate {
+			out = append(out, Violation{
+				Rule: "rate-limit", Record: r,
+				Detail: fmt.Sprintf("%s exceeded %.0f commands/s", r.Device, e.maxRate),
+			})
+		}
+	}
+	return out
+}
+
+// Scan runs the engine over a whole trace and returns all violations.
+func (e *RuleEngine) Scan(recs []store.Record) []Violation {
+	var out []Violation
+	for _, r := range recs {
+		out = append(out, e.Check(r)...)
+	}
+	return out
+}

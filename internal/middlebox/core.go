@@ -1,0 +1,167 @@
+// Package middlebox implements the trusted middlebox of Fig. 1: the
+// component that sits between the (untrusted) lab computer and the CPS
+// devices, accepts only the restricted RPC command set, executes or records
+// device commands, and continuously logs every command, response, and
+// exception to its trace sinks.
+//
+// The package splits the middlebox into a transport-independent Core (device
+// registry, command execution, trace logging) and a TCP Server wrapping it.
+// The split lets the same middlebox logic run over real sockets for the
+// latency experiments (Fig. 4) and over an in-process transport under a
+// virtual clock for generating the three-month dataset campaign.
+package middlebox
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rad/internal/device"
+	"rad/internal/simclock"
+	"rad/internal/store"
+	"rad/internal/wire"
+)
+
+// Core is the transport-independent middlebox: it owns the device
+// connections (REMOTE mode) and the trace log. Safe for concurrent use.
+type Core struct {
+	clock simclock.Clock
+
+	mu      sync.RWMutex
+	devices map[string]device.Device
+	sink    store.Sink
+
+	stats Stats
+}
+
+// Stats counts the requests a middlebox has served.
+type Stats struct {
+	Execs  uint64 // REMOTE-mode command executions
+	Traces uint64 // DIRECT-mode trace uploads
+	Pings  uint64
+	Errors uint64 // requests that produced an error reply
+}
+
+// NewCore builds a middlebox core logging to sink (which may be nil to
+// disable logging, e.g. in pure latency benchmarks).
+func NewCore(clock simclock.Clock, sink store.Sink) *Core {
+	return &Core{clock: clock, devices: make(map[string]device.Device), sink: sink}
+}
+
+// Register connects a device to the middlebox. Registering a device with a
+// name already in use replaces the previous registration.
+func (c *Core) Register(d device.Device) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.devices[d.Name()] = d
+}
+
+// Device returns the registered device with the given name, if any.
+func (c *Core) Device(name string) (device.Device, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.devices[name]
+	return d, ok
+}
+
+// Stats returns a snapshot of the request counters.
+func (c *Core) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.stats
+}
+
+// Handle processes one request and produces its reply. It implements the
+// middlebox protocol:
+//
+//   - exec: execute the command on the target device (REMOTE mode), log the
+//     trace record, reply with the device's response.
+//   - trace: log a trace record observed by the client (DIRECT mode).
+//   - ping: liveness/RTT probe.
+func (c *Core) Handle(req wire.Request) wire.Reply {
+	switch req.Op {
+	case wire.OpPing:
+		c.count(func(s *Stats) { s.Pings++ })
+		return wire.Reply{ID: req.ID, Value: "pong"}
+	case wire.OpExec:
+		return c.handleExec(req)
+	case wire.OpTrace:
+		return c.handleTrace(req)
+	default:
+		c.count(func(s *Stats) { s.Errors++ })
+		return wire.Reply{ID: req.ID, Error: fmt.Sprintf("middlebox: unknown op %q", req.Op)}
+	}
+}
+
+func (c *Core) handleExec(req wire.Request) wire.Reply {
+	d, ok := c.Device(req.Device)
+	if !ok {
+		c.count(func(s *Stats) { s.Errors++ })
+		return wire.Reply{ID: req.ID, Error: fmt.Sprintf("middlebox: device %q not registered", req.Device)}
+	}
+	start := c.clock.Now()
+	value, err := d.Exec(device.Command{Device: req.Device, Name: req.Name, Args: req.Args})
+	end := c.clock.Now()
+
+	rec := store.Record{
+		Time: start, EndTime: end,
+		Device: req.Device, Name: req.Name, Args: req.Args,
+		Response:  value,
+		Procedure: procedureLabel(req.Procedure),
+		Run:       req.Run,
+		Mode:      "REMOTE",
+	}
+	reply := wire.Reply{ID: req.ID, Value: value}
+	if err != nil {
+		rec.Exception = err.Error()
+		reply.Error = err.Error()
+		c.count(func(s *Stats) { s.Execs++; s.Errors++ })
+	} else {
+		c.count(func(s *Stats) { s.Execs++ })
+	}
+	c.log(rec)
+	return reply
+}
+
+func (c *Core) handleTrace(req wire.Request) wire.Reply {
+	rec := store.Record{
+		Time:    time.Unix(0, req.StartNanos),
+		EndTime: time.Unix(0, req.EndNanos),
+		Device:  req.Device, Name: req.Name, Args: req.Args,
+		Response: req.Value, Exception: req.Error,
+		Procedure: procedureLabel(req.Procedure),
+		Run:       req.Run,
+		Mode:      "DIRECT",
+	}
+	c.count(func(s *Stats) { s.Traces++ })
+	c.log(rec)
+	return wire.Reply{ID: req.ID, Value: "ok"}
+}
+
+func (c *Core) log(rec store.Record) {
+	c.mu.RLock()
+	sink := c.sink
+	c.mu.RUnlock()
+	if sink == nil {
+		return
+	}
+	// Trace logging must never fail the command path; the middlebox drops
+	// the record if the sink errors (a full disk must not stop the lab).
+	_ = sink.Append(rec)
+}
+
+func (c *Core) count(f func(*Stats)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f(&c.stats)
+}
+
+// procedureLabel applies the paper's labelling rule: commands from
+// supervised runs keep their procedure label, everything else is labelled
+// "unknown procedure".
+func procedureLabel(p string) string {
+	if p == "" {
+		return store.UnknownProcedure
+	}
+	return p
+}

@@ -1,0 +1,188 @@
+package middlebox
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+
+	"rad/internal/wire"
+)
+
+// NetworkProfile emulates the network between the lab computer and the
+// middlebox by delaying each request before it is processed and each reply
+// before it is sent. The zero value is a perfect network.
+//
+// Profiles let one loopback deployment reproduce the paper's three Fig. 4
+// configurations: DIRECT/REMOTE on the lab LAN (sub-millisecond one-way
+// delay with occasional jitter spikes) and the Azure F16s v2 cloud replay
+// (~30 ms each way for a ~60 ms average response time).
+type NetworkProfile struct {
+	// OneWayDelay is the base one-way latency added in each direction.
+	OneWayDelay time.Duration
+	// Jitter is the upper bound of uniform extra delay per direction.
+	Jitter time.Duration
+	// SpikeProb is the probability that a direction experiences a latency
+	// spike of SpikeDelay (the paper's occasional >30 ms REMOTE outliers).
+	SpikeProb  float64
+	SpikeDelay time.Duration
+}
+
+// LANProfile models the lab's switched Ethernet between the lab computer and
+// the middlebox: ~1 ms one way with rare multi-ms spikes.
+func LANProfile() NetworkProfile {
+	return NetworkProfile{
+		OneWayDelay: 800 * time.Microsecond,
+		Jitter:      400 * time.Microsecond,
+		SpikeProb:   0.01,
+		SpikeDelay:  28 * time.Millisecond,
+	}
+}
+
+// CloudProfile models the Azure F16s v2 replay of footnote 1: a WAN RTT
+// placing average response times around 60 ms.
+func CloudProfile() NetworkProfile {
+	return NetworkProfile{
+		OneWayDelay: 27 * time.Millisecond,
+		Jitter:      5 * time.Millisecond,
+		SpikeProb:   0.01,
+		SpikeDelay:  40 * time.Millisecond,
+	}
+}
+
+// Delay samples one direction's delay using rng.
+func (p NetworkProfile) Delay(rng *rand.Rand) time.Duration {
+	d := p.OneWayDelay
+	if p.Jitter > 0 {
+		d += time.Duration(rng.Int64N(int64(p.Jitter)))
+	}
+	if p.SpikeProb > 0 && rng.Float64() < p.SpikeProb {
+		d += p.SpikeDelay
+	}
+	return d
+}
+
+// Server exposes a Core over TCP using the wire protocol. One goroutine per
+// connection; requests on a connection are served in order.
+type Server struct {
+	core    *Core
+	profile NetworkProfile
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	rng    *rand.Rand
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer wraps core with the given emulated network profile.
+func NewServer(core *Core, profile NetworkProfile, seed uint64) *Server {
+	return &Server{
+		core:    core,
+		profile: profile,
+		conns:   make(map[net.Conn]struct{}),
+		rng:     rand.New(rand.NewPCG(seed, seed^0xa0761d6478bd642f)),
+	}
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and begins serving in the
+// background. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("middlebox: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return "", errors.New("middlebox: server already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		var req wire.Request
+		if err := wire.ReadFrame(conn, &req); err != nil {
+			return // EOF or a broken/odd frame: drop the connection
+		}
+		s.sleep(s.sampleDelay()) // inbound network
+		reply := s.core.Handle(req)
+		s.sleep(s.sampleDelay()) // outbound network
+		if err := wire.WriteFrame(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) sampleDelay() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.profile.Delay(s.rng)
+}
+
+func (s *Server) sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Close stops the listener, closes all live connections, and waits for the
+// connection goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// ensure interface-style usage stays honest.
+var _ io.Closer = (*Server)(nil)

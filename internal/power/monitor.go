@@ -1,0 +1,201 @@
+package power
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"rad/internal/robot"
+	"rad/internal/simclock"
+)
+
+// Monitor is the RATracer power-monitoring module (Fig. 3, bottom): it
+// samples the simulated UR3e's 122 RTDE properties every 40 ms while the arm
+// moves and, optionally, while it idles. The paper stores quiescent-period
+// entries only on days with activity; callers control that by choosing when
+// to call RecordQuiescent.
+//
+// A Monitor is safe for concurrent use; the UR3e device simulator drives it
+// from whatever goroutine serves the command.
+type Monitor struct {
+	model Model
+	clock simclock.Clock
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	samples  []Sample
+	payload  float64 // currently carried payload, kg
+	lastPose robot.Config
+	subs     []*Subscription
+}
+
+// NewMonitor creates a monitor with the given current model, clock, and
+// deterministic seed. The arm is assumed to start at the "home" pose.
+func NewMonitor(model Model, clock simclock.Clock, seed uint64) *Monitor {
+	home, _ := robot.Location("home")
+	return &Monitor{
+		model:    model,
+		clock:    clock,
+		rng:      rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb)),
+		lastPose: home,
+	}
+}
+
+// SetPayload records the mass (kg) currently carried by the gripper. Weights
+// are not command arguments (§VI) — they are an artifact of what the arm
+// picked up — so the monitor tracks them out of band, exactly as physics
+// would.
+func (m *Monitor) SetPayload(kg float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if kg < 0 {
+		kg = 0
+	}
+	m.payload = kg
+}
+
+// Payload returns the currently tracked payload mass in kg.
+func (m *Monitor) Payload() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.payload
+}
+
+// Pose returns the arm's last known joint configuration.
+func (m *Monitor) Pose() robot.Config {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastPose
+}
+
+// RecordMove executes the move in simulated time: it advances the clock by
+// the move's duration, appends one sample per 40 ms tick, and updates the
+// tracked pose. It returns the half-open index range [start, end) of the
+// appended samples so callers can attribute them to a command instance.
+func (m *Monitor) RecordMove(mv *robot.Move) (start, end int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	start = len(m.samples)
+	dur := mv.Duration()
+	for t := 0.0; t < dur; t += SamplePeriod {
+		m.appendLocked(mv.StateAt(t))
+		m.clock.Sleep(time.Duration(SamplePeriod * float64(time.Second)))
+	}
+	m.appendLocked(mv.StateAt(dur))
+	m.lastPose = mv.To
+	return start, len(m.samples)
+}
+
+// RecordQuiescent appends idle samples (arm at rest at its last pose) for
+// the given duration, advancing the clock.
+func (m *Monitor) RecordQuiescent(d time.Duration) (start, end int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	start = len(m.samples)
+	ticks := int(d.Seconds() / SamplePeriod)
+	state := robot.State{Pos: m.lastPose}
+	for i := 0; i < ticks; i++ {
+		m.appendLocked(state)
+		m.clock.Sleep(time.Duration(SamplePeriod * float64(time.Second)))
+	}
+	return start, len(m.samples)
+}
+
+// Samples returns a copy of all recorded samples.
+func (m *Monitor) Samples() []Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Sample, len(m.samples))
+	copy(out, m.samples)
+	return out
+}
+
+// Len returns the number of recorded samples.
+func (m *Monitor) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.samples)
+}
+
+// Reset discards all recorded samples; pose and payload are kept.
+func (m *Monitor) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.samples = nil
+}
+
+// appendLocked builds the full 122-property record for one kinematic state
+// and appends it. Caller holds m.mu.
+func (m *Monitor) appendLocked(s robot.State) {
+	v := make([]float64, NumProperties)
+	set := func(name string, val float64) {
+		if i, ok := propertyIndex[name]; ok {
+			v[i] = val
+		}
+	}
+	for j := 0; j < robot.NumJoints; j++ {
+		cur := m.model.Current(j, s, m.payload) + m.rng.NormFloat64()*m.model.Joints[j].NoiseStd
+		mom := m.model.Moment(j, s, m.payload)
+		set(fmt.Sprintf("actual_q_%d", j), s.Pos[j]+m.rng.NormFloat64()*1e-4)
+		set(fmt.Sprintf("actual_qd_%d", j), s.Vel[j]+m.rng.NormFloat64()*1e-3)
+		set(fmt.Sprintf("actual_qdd_%d", j), s.Acc[j]+m.rng.NormFloat64()*1e-3)
+		set(fmt.Sprintf("actual_current_%d", j), cur)
+		set(fmt.Sprintf("joint_moment_%d", j), mom)
+		set(fmt.Sprintf("joint_temperature_%d", j), 27.5+0.5*math.Abs(s.Vel[j])+m.rng.NormFloat64()*0.05)
+		set(fmt.Sprintf("joint_voltage_%d", j), 48+m.rng.NormFloat64()*0.1)
+		set(fmt.Sprintf("target_q_%d", j), s.Pos[j])
+		set(fmt.Sprintf("target_qd_%d", j), s.Vel[j])
+		set(fmt.Sprintf("target_current_%d", j), m.model.Current(j, s, m.payload))
+	}
+	// Crude but consistent TCP proxy: planar forward kinematics from the
+	// first three joints at the effective reach.
+	reachM := robot.EffectiveReachMM / 1000
+	x := reachM * math.Cos(s.Pos[0]) * math.Cos(s.Pos[1]+s.Pos[2])
+	y := reachM * math.Sin(s.Pos[0]) * math.Cos(s.Pos[1]+s.Pos[2])
+	z := 0.3 + reachM*math.Sin(s.Pos[1]+s.Pos[2])
+	set("actual_tcp_pose_0", x)
+	set("actual_tcp_pose_1", y)
+	set("actual_tcp_pose_2", z)
+	set("actual_tcp_pose_3", s.Pos[3])
+	set("actual_tcp_pose_4", s.Pos[4])
+	set("actual_tcp_pose_5", s.Pos[5])
+	speed := reachM * math.Hypot(s.Vel[0], s.Vel[1]+s.Vel[2])
+	set("actual_tcp_speed_0", speed)
+	set("actual_tcp_force_2", -gravity*m.payload)
+	set("target_tcp_pose_0", x)
+	set("target_tcp_pose_1", y)
+	set("target_tcp_pose_2", z)
+	set("target_tcp_speed_0", speed)
+
+	now := m.clock.Now()
+	set("timestamp_s", float64(now.UnixNano())/1e9)
+	totalCur := 0.0
+	for j := 0; j < robot.NumJoints; j++ {
+		totalCur += math.Abs(v[propertyIndex[fmt.Sprintf("actual_current_%d", j)]])
+	}
+	set("robot_voltage", 48+m.rng.NormFloat64()*0.2)
+	set("robot_current", 0.5+totalCur)
+	set("robot_momentum", math.Abs(s.Vel[0])+math.Abs(s.Vel[1]))
+	set("payload_mass", m.payload)
+	set("payload_cog_z", 0.05)
+	set("speed_scaling", 1)
+	set("target_speed_fraction", 1)
+	set("runtime_state", 2) // PLAYING
+	set("safety_status", 1) // NORMAL
+	set("robot_mode", 7)    // RUNNING
+	for j := 0; j < robot.NumJoints; j++ {
+		set(fmt.Sprintf("joint_mode_%d", j), 253) // RUNNING
+	}
+	set("tool_accelerometer_z", -gravity)
+	set("elbow_position_x", x/2)
+	set("elbow_position_y", y/2)
+	set("elbow_position_z", 0.25)
+	set("tool_output_voltage", 24)
+	set("tcp_force_scalar", gravity*m.payload)
+
+	sample := Sample{Time: now, Values: v}
+	m.samples = append(m.samples, sample)
+	m.publishLocked(sample)
+}

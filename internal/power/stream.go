@@ -1,0 +1,71 @@
+package power
+
+import "sync"
+
+// This file adds the subscription face of the UR3e's real-time interface:
+// the paper's power-monitoring module runs `while True: data =
+// rtde.receive(...)` at 25 Hz (Fig. 3, bottom). Subscribers receive every
+// sample the monitor records, as the RTDE socket would deliver them.
+
+// Subscription is one consumer of the live sample feed.
+type Subscription struct {
+	mon *Monitor
+	ch  chan Sample
+	// dropped counts samples lost to a slow consumer.
+	mu      sync.Mutex
+	dropped uint64
+}
+
+// Subscribe attaches a live consumer with the given buffer capacity
+// (minimum 1). A consumer that falls behind loses samples rather than
+// stalling the robot — exactly how a real-time telemetry socket behaves —
+// and the loss is counted.
+func (m *Monitor) Subscribe(buffer int) *Subscription {
+	if buffer < 1 {
+		buffer = 1
+	}
+	sub := &Subscription{mon: m, ch: make(chan Sample, buffer)}
+	m.mu.Lock()
+	m.subs = append(m.subs, sub)
+	m.mu.Unlock()
+	return sub
+}
+
+// C returns the sample feed. The channel closes when the subscription is
+// cancelled.
+func (s *Subscription) C() <-chan Sample { return s.ch }
+
+// Dropped reports how many samples were lost to backpressure.
+func (s *Subscription) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Cancel detaches the subscription and closes its channel.
+func (s *Subscription) Cancel() {
+	m := s.mon
+	m.mu.Lock()
+	for i, other := range m.subs {
+		if other == s {
+			m.subs = append(m.subs[:i], m.subs[i+1:]...)
+			close(s.ch)
+			break
+		}
+	}
+	m.mu.Unlock()
+}
+
+// publishLocked delivers one sample to every subscriber without blocking.
+// Caller holds m.mu.
+func (m *Monitor) publishLocked(sample Sample) {
+	for _, sub := range m.subs {
+		select {
+		case sub.ch <- sample:
+		default:
+			sub.mu.Lock()
+			sub.dropped++
+			sub.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package power
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSubscriptionReceivesLiveSamples(t *testing.T) {
+	m, _ := newTestMonitor(1)
+	sub := m.Subscribe(1024)
+	defer sub.Cancel()
+
+	mv := testMove(t, "L0", "L1", 200)
+	start, end := m.RecordMove(mv)
+	want := end - start
+
+	got := 0
+	deadline := time.After(2 * time.Second)
+	for got < want {
+		select {
+		case s, ok := <-sub.C():
+			if !ok {
+				t.Fatal("channel closed early")
+			}
+			if len(s.Values) != NumProperties {
+				t.Fatalf("streamed sample has %d values", len(s.Values))
+			}
+			got++
+		case <-deadline:
+			t.Fatalf("received %d/%d samples", got, want)
+		}
+	}
+	if sub.Dropped() != 0 {
+		t.Errorf("dropped %d with a large buffer", sub.Dropped())
+	}
+}
+
+func TestSubscriptionBackpressureDropsNotBlocks(t *testing.T) {
+	m, _ := newTestMonitor(1)
+	sub := m.Subscribe(1) // tiny buffer, nobody reading
+	defer sub.Cancel()
+
+	mv := testMove(t, "L0", "L1", 200)
+	start, end := m.RecordMove(mv) // must not deadlock
+	produced := uint64(end - start)
+	if sub.Dropped() != produced-1 {
+		t.Errorf("dropped %d of %d samples with buffer 1 and no reader", sub.Dropped(), produced)
+	}
+}
+
+func TestSubscriptionCancelClosesChannel(t *testing.T) {
+	m, _ := newTestMonitor(1)
+	sub := m.Subscribe(4)
+	sub.Cancel()
+	if _, ok := <-sub.C(); ok {
+		t.Error("channel open after cancel")
+	}
+	// Recording after cancel must not panic or deliver.
+	m.RecordMove(testMove(t, "L0", "L1", 200))
+}
+
+func TestMultipleSubscribersIndependent(t *testing.T) {
+	m, _ := newTestMonitor(1)
+	a := m.Subscribe(1024)
+	b := m.Subscribe(1)
+	defer a.Cancel()
+	defer b.Cancel()
+
+	m.RecordQuiescent(time.Second) // 25 samples
+	if got := len(a.C()); got != 25 {
+		t.Errorf("subscriber a buffered %d, want 25", got)
+	}
+	if b.Dropped() != 24 {
+		t.Errorf("subscriber b dropped %d, want 24", b.Dropped())
+	}
+}

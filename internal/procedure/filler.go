@@ -1,0 +1,243 @@
+package procedure
+
+import (
+	"fmt"
+	"time"
+
+	"rad/internal/device"
+)
+
+// This file implements the unsupervised activity that makes up the bulk of
+// the command dataset: "many short scripts for prototyping or for trying out
+// new libraries" (§IV), run over the three-month collection period without
+// procedure labels. FillDevice issues an exact number of commands against
+// one device so the campaign generator can land on the per-device totals the
+// paper reports for Fig. 5(a).
+
+// FillDevice runs unsupervised prototyping activity against the named device
+// until exactly n commands (including the session's __init__) have been
+// issued. It returns the number of commands issued.
+//
+// The command mix mirrors what prototyping sessions look like per device:
+// dominated by status polling (MVNG for the C9, Q for the Tecan, IN_PV_* for
+// the IKA) with actuation sprinkled in.
+func FillDevice(lab *Lab, deviceName string, n int) (int, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	dev, ok := lab.Device(deviceName)
+	if !ok {
+		return 0, fmt.Errorf("procedure: unknown device %q", deviceName)
+	}
+	s := newScript(lab, "", Options{})
+	if err := s.mustExec(dev, "__init__"); err != nil {
+		return s.commands, fmt.Errorf("procedure: fill %s init: %w", deviceName, err)
+	}
+	for s.commands < n {
+		var err error
+		switch deviceName {
+		case device.C9:
+			err = s.fillC9Step()
+		case device.UR3e:
+			err = s.fillURStep(n - s.commands)
+		case device.IKA:
+			err = s.fillIKAStep()
+		case device.Tecan:
+			err = s.fillTecanStep(n - s.commands)
+		case device.Quantos:
+			err = s.fillQuantosStep(n - s.commands)
+		default:
+			return s.commands, fmt.Errorf("procedure: unknown device %q", deviceName)
+		}
+		if err != nil {
+			return s.commands, fmt.Errorf("procedure: fill %s: %w", deviceName, err)
+		}
+	}
+	return s.commands, nil
+}
+
+// fillC9Step issues one C9 command chosen from the prototyping mix.
+func (s *script) fillC9Step() error {
+	rng := s.rng
+	switch p := rng.Float64(); {
+	case p < 0.58:
+		_, err := s.exec(s.lab.C9, "MVNG")
+		return err
+	case p < 0.74:
+		return s.mustExec(s.lab.C9, "ARM",
+			f(rng.Float64()*250), f(rng.Float64()*150-75), f(rng.Float64()*40))
+	case p < 0.82:
+		_, err := s.exec(s.lab.C9, "CURR", i(rng.IntN(4)))
+		return err
+	case p < 0.88:
+		return s.mustExec(s.lab.C9, "MOVE", i(rng.IntN(4)), f(rng.Float64()*100))
+	case p < 0.92:
+		_, err := s.exec(s.lab.C9, "POSN", i(rng.IntN(4)))
+		return err
+	case p < 0.95:
+		return s.mustExec(s.lab.C9, "JLEN", f(80+rng.Float64()*40))
+	case p < 0.97:
+		return s.mustExec(s.lab.C9, "SPED", f(100+rng.Float64()*150))
+	case p < 0.98:
+		return s.mustExec(s.lab.C9, "BIAS", f(rng.Float64()*0.5))
+	case p < 0.99:
+		return s.mustExec(s.lab.C9, "GRIP", pick(rng.IntN(2), "open", "close"))
+	default:
+		if rng.Float64() < 0.5 {
+			return s.mustExec(s.lab.C9, "HOME")
+		}
+		return s.mustExec(s.lab.C9, "OUTP", "1")
+	}
+}
+
+// fillURStep issues one or two UR3e commands (gripper actions pair up).
+func (s *script) fillURStep(budget int) error {
+	rng := s.rng
+	locs := []string{"home", "L0", "L1", "L2", "camera_station", "above_rack"}
+	switch p := rng.Float64(); {
+	case p < 0.45:
+		return s.mustExec(s.lab.UR3e, "move_to_location", locs[rng.IntN(len(locs))])
+	case p < 0.75:
+		return s.mustExec(s.lab.UR3e, "move_joints",
+			f(rng.Float64()-0.5), f(-1.5+rng.Float64()*0.6), f(rng.Float64()*0.8),
+			f(-1.6+rng.Float64()*0.6), f(rng.Float64()*0.4-0.2), f(rng.Float64()*0.3))
+	case p < 0.85:
+		return s.mustExec(s.lab.UR3e, "move_circular", locs[rng.IntN(len(locs))])
+	default:
+		if budget >= 2 {
+			if err := s.mustExec(s.lab.UR3e, "close_gripper"); err != nil {
+				return err
+			}
+			return s.mustExec(s.lab.UR3e, "open_gripper")
+		}
+		return s.mustExec(s.lab.UR3e, "open_gripper")
+	}
+}
+
+// fillIKAStep issues one IKA command from the monitoring-heavy mix.
+func (s *script) fillIKAStep() error {
+	rng := s.rng
+	s.think(s.jitterDur(2*time.Second, 1.0))
+	switch p := rng.Float64(); {
+	case p < 0.35:
+		_, err := s.exec(s.lab.IKA, "IN_PV_4")
+		return err
+	case p < 0.55:
+		_, err := s.exec(s.lab.IKA, "IN_PV_1")
+		return err
+	case p < 0.72:
+		_, err := s.exec(s.lab.IKA, "IN_PV_2")
+		return err
+	case p < 0.78:
+		_, err := s.exec(s.lab.IKA, "IN_SP_4")
+		return err
+	case p < 0.83:
+		_, err := s.exec(s.lab.IKA, "IN_SP_1")
+		return err
+	case p < 0.86:
+		_, err := s.exec(s.lab.IKA, "IN_NAME")
+		return err
+	case p < 0.91:
+		return s.mustExec(s.lab.IKA, "OUT_SP_4", f(rng.Float64()*800))
+	case p < 0.94:
+		return s.mustExec(s.lab.IKA, "OUT_SP_1", f(rng.Float64()*120))
+	case p < 0.96:
+		return s.mustExec(s.lab.IKA, "START_4")
+	case p < 0.98:
+		return s.mustExec(s.lab.IKA, "STOP_4")
+	case p < 0.99:
+		return s.mustExec(s.lab.IKA, "START_1")
+	default:
+		return s.mustExec(s.lab.IKA, "STOP_1")
+	}
+}
+
+// fillTecanStep issues one or more Tecan commands (batches consume several).
+func (s *script) fillTecanStep(budget int) error {
+	rng := s.rng
+	switch p := rng.Float64(); {
+	case p < 0.55:
+		_, err := s.exec(s.lab.Tecan, "Q")
+		s.think(s.jitterDur(300*time.Millisecond, 0.5))
+		return err
+	case p < 0.68:
+		return s.mustExec(s.lab.Tecan, "A", f(rng.Float64()*5000))
+	case p < 0.74:
+		return s.mustExec(s.lab.Tecan, "V", f(200+rng.Float64()*3000))
+	case p < 0.80:
+		return s.mustExec(s.lab.Tecan, "I", i(1+rng.IntN(9)))
+	case p < 0.84:
+		return s.mustExec(s.lab.Tecan, "Z")
+	case p < 0.87:
+		return s.mustExec(s.lab.Tecan, "k", i(rng.IntN(32)))
+	case p < 0.90:
+		return s.mustExec(s.lab.Tecan, "L", i(1+rng.IntN(20)))
+	case p < 0.93:
+		_, err := s.exec(s.lab.Tecan, "P", f(rng.Float64()*100))
+		// P can legitimately overrun the plunger during prototyping; the
+		// error is traced (as it would be in the lab) and the session
+		// continues.
+		if err != nil && !isHardwareFault(err) {
+			return nil
+		}
+		return err
+	default:
+		if budget >= 4 {
+			if err := s.mustExec(s.lab.Tecan, "g"); err != nil {
+				return err
+			}
+			if err := s.mustExec(s.lab.Tecan, "A", f(rng.Float64()*3000)); err != nil {
+				return err
+			}
+			if err := s.mustExec(s.lab.Tecan, "G"); err != nil {
+				return err
+			}
+			return nil
+		}
+		_, err := s.exec(s.lab.Tecan, "Q")
+		return err
+	}
+}
+
+// fillQuantosStep issues one or more Quantos commands; dosing runs the full
+// precondition chain.
+func (s *script) fillQuantosStep(budget int) error {
+	rng := s.rng
+	switch p := rng.Float64(); {
+	case p < 0.25:
+		return s.mustExec(s.lab.Quantos, "zero")
+	case p < 0.45:
+		return s.mustExec(s.lab.Quantos, "front_door", pick(rng.IntN(2), "open", "close"))
+	case p < 0.60:
+		return s.mustExec(s.lab.Quantos, "move_z_axis", f(rng.Float64()*1500))
+	case p < 0.70:
+		return s.mustExec(s.lab.Quantos, "home_z_stage")
+	case p < 0.78:
+		return s.mustExec(s.lab.Quantos, "target_mass", f(10+rng.Float64()*80))
+	case p < 0.84:
+		return s.mustExec(s.lab.Quantos, "set_home_direction", pick(rng.IntN(2), "1", "-1"))
+	case p < 0.90:
+		return s.mustExec(s.lab.Quantos, "lock_dosing_pin_position")
+	case p < 0.96:
+		return s.mustExec(s.lab.Quantos, "unlock_dosing_pin_position")
+	default:
+		if budget >= 5 {
+			if err := s.mustExec(s.lab.Quantos, "front_door", "close"); err != nil {
+				return err
+			}
+			if err := s.mustExec(s.lab.Quantos, "lock_dosing_pin_position"); err != nil {
+				return err
+			}
+			if err := s.mustExec(s.lab.Quantos, "target_mass", f(20+rng.Float64()*30)); err != nil {
+				return err
+			}
+			if err := s.mustExec(s.lab.Quantos, "start_dosing"); err != nil {
+				return err
+			}
+			return s.mustExec(s.lab.Quantos, "unlock_dosing_pin_position")
+		}
+		return s.mustExec(s.lab.Quantos, "zero")
+	}
+}
+
+func pick(idx int, options ...string) string { return options[idx] }

@@ -1,0 +1,240 @@
+// Package procedure implements the Hein Lab workloads whose traces make up
+// RAD (§IV): the four supervised procedure types — P1 Automated Solubility
+// with N9, P2 Automated Solubility with N9 and UR3e, P3 Crystal Solubility,
+// P4 Joystick Movements — the two controlled power experiments P5 (velocity
+// sweep) and P6 (payload sweep), and the filler prototyping sessions that
+// account for the dataset's "unknown procedure" bulk.
+//
+// Procedures execute against virtualized devices from a tracer.Session, so
+// the same scripts run over a real TCP middlebox (Fig. 4 latency runs) or an
+// in-process middlebox under a virtual clock (dataset generation).
+package procedure
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"rad/internal/device"
+	"rad/internal/device/c9"
+	"rad/internal/device/ika"
+	"rad/internal/device/quantos"
+	"rad/internal/device/tecan"
+	"rad/internal/device/ur3e"
+	"rad/internal/middlebox"
+	"rad/internal/power"
+	"rad/internal/serial"
+	"rad/internal/simclock"
+	"rad/internal/store"
+	"rad/internal/tracer"
+)
+
+// Procedure type labels as used in the dataset.
+const (
+	P1       = "P1" // Automated Solubility with N9
+	P2       = "P2" // Automated Solubility with N9 and UR3e
+	P3       = "P3" // Crystal Solubility
+	Joystick = "P4" // Joystick Movements
+	P5       = "P5" // UR3e movements with different velocities
+	P6       = "P6" // UR3e movements with different payload weights
+)
+
+// HumanName returns the paper's descriptive name for a procedure label.
+func HumanName(label string) string {
+	switch label {
+	case P1:
+		return "Automated Solubility with N9"
+	case P2:
+		return "Automated Solubility with N9 and UR3e"
+	case P3:
+		return "Crystal Solubility"
+	case Joystick:
+		return "Joystick Movements"
+	case P5:
+		return "UR3e movements with different velocities"
+	case P6:
+		return "UR3e movements with different payload weights"
+	default:
+		return label
+	}
+}
+
+// Lab bundles everything a procedure script needs: the virtualized devices
+// it sends commands through, the raw simulators for physical context (fault
+// injection, payload mass), and the clock/randomness of the simulation.
+type Lab struct {
+	// Virtualized devices (the RATracer interception layer).
+	C9      device.Device
+	UR3e    device.Device
+	IKA     device.Device
+	Tecan   device.Device
+	Quantos device.Device
+
+	// Raw simulators, for physical context that is not a command.
+	RawC9      *c9.C9
+	RawUR3e    *ur3e.UR3e
+	RawIKA     *ika.IKA
+	RawTecan   *tecan.Tecan
+	RawQuantos *quantos.Quantos
+
+	Clock   simclock.Clock
+	RNG     *rand.Rand
+	Session *tracer.Session
+	Monitor *power.Monitor // UR3e power telemetry (may be nil)
+}
+
+// Faultable returns the raw device's fault-injection interface, if the named
+// device supports it.
+func (l *Lab) Faultable(name string) (device.Faultable, bool) {
+	switch name {
+	case device.C9:
+		return l.RawC9, l.RawC9 != nil
+	case device.UR3e:
+		return l.RawUR3e, l.RawUR3e != nil
+	case device.Quantos:
+		return l.RawQuantos, l.RawQuantos != nil
+	default:
+		return nil, false
+	}
+}
+
+// Device returns the virtualized device by dataset name.
+func (l *Lab) Device(name string) (device.Device, bool) {
+	switch name {
+	case device.C9:
+		return l.C9, l.C9 != nil
+	case device.UR3e:
+		return l.UR3e, l.UR3e != nil
+	case device.IKA:
+		return l.IKA, l.IKA != nil
+	case device.Tecan:
+		return l.Tecan, l.Tecan != nil
+	case device.Quantos:
+		return l.Quantos, l.Quantos != nil
+	default:
+		return nil, false
+	}
+}
+
+// VirtualLabConfig configures NewVirtualLab.
+type VirtualLabConfig struct {
+	// Start is the virtual campaign start instant.
+	Start time.Time
+	// Seed drives every random stream in the lab.
+	Seed uint64
+	// Network is the emulated lab network between tracer and middlebox.
+	Network middlebox.NetworkProfile
+	// WithPower attaches a power monitor to the UR3e.
+	WithPower bool
+	// WrapTransport, when set, wraps the lab-computer → middlebox transport
+	// before the tracing session is built — the hook a man-in-the-middle
+	// attack interceptor (internal/attack) or a measurement shim uses.
+	WrapTransport func(tracer.Transport) tracer.Transport
+	// SerialDevices routes the serially attached instruments (C9, IKA,
+	// Tecan, Quantos) through their emulated serial stacks (Fig. 2's
+	// physical layer): the middlebox holds a serial driver client and the
+	// device simulator runs behind a firmware adapter on the far end of a
+	// baud-timed link. The UR3e keeps its direct (TCP/RTDE-style)
+	// attachment, as in the real lab.
+	SerialDevices bool
+}
+
+// VirtualLab is a complete in-process deployment: five simulated devices
+// registered on a middlebox core, a virtual clock, and a REMOTE-mode tracing
+// session — the configuration the Hein Lab converged on (§III).
+type VirtualLab struct {
+	Lab   *Lab
+	Core  *middlebox.Core
+	Sink  *store.MemStore
+	Clock *simclock.Virtual
+
+	// serial-stack lifecycle (SerialDevices only).
+	ports []*serial.Port
+	fw    sync.WaitGroup
+}
+
+// NewVirtualLab assembles a virtual-time lab. Callers own Close on the
+// session (via VirtualLab.Close).
+func NewVirtualLab(cfg VirtualLabConfig) (*VirtualLab, error) {
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2021, 9, 1, 9, 0, 0, 0, time.UTC)
+	}
+	clock := simclock.NewVirtual(cfg.Start)
+	sink := store.NewMemStore()
+	core := middlebox.NewCore(clock, sink)
+
+	var monitor *power.Monitor
+	if cfg.WithPower {
+		monitor = power.NewMonitor(power.DefaultModel(), clock, cfg.Seed^0x5bf0)
+	}
+
+	vlab := &VirtualLab{Core: core, Sink: sink, Clock: clock}
+
+	rawC9 := c9.New(device.NewEnv(clock, cfg.Seed+1))
+	rawUR := ur3e.New(device.NewEnv(clock, cfg.Seed+2), monitor)
+	rawIKA := ika.New(device.NewEnv(clock, cfg.Seed+3))
+	rawTecan := tecan.New(device.NewEnv(clock, cfg.Seed+4))
+	rawQuantos := quantos.New(device.NewEnv(clock, cfg.Seed+5))
+	// The UR3e attaches directly (its real protocol is TCP, not serial).
+	core.Register(rawUR)
+	serialSide := []device.Device{rawC9, rawIKA, rawTecan, rawQuantos}
+	if cfg.SerialDevices {
+		for _, d := range serialSide {
+			labEnd, devEnd := serial.Pipe(clock, clock, serial.DefaultBaud)
+			fw := serial.NewFirmware(d, devEnd)
+			vlab.ports = append(vlab.ports, labEnd, devEnd)
+			vlab.fw.Add(1)
+			go func() {
+				defer vlab.fw.Done()
+				fw.Serve()
+			}()
+			core.Register(serial.NewClient(d.Name(), labEnd))
+		}
+	} else {
+		for _, d := range serialSide {
+			core.Register(d)
+		}
+	}
+
+	var transport tracer.Transport = tracer.NewLocalTransport(core, clock, cfg.Network, cfg.Seed+6)
+	if cfg.WrapTransport != nil {
+		transport = cfg.WrapTransport(transport)
+	}
+	sess := tracer.NewSession(transport, clock, tracer.Config{DefaultMode: tracer.ModeRemote})
+
+	lab := &Lab{
+		RawC9: rawC9, RawUR3e: rawUR, RawIKA: rawIKA, RawTecan: rawTecan, RawQuantos: rawQuantos,
+		Clock: clock, RNG: rand.New(rand.NewPCG(cfg.Seed+7, cfg.Seed^0x2545f4914f6cdd1d)),
+		Session: sess, Monitor: monitor,
+	}
+	var err error
+	if lab.C9, err = sess.Virtual(device.C9); err != nil {
+		return nil, fmt.Errorf("procedure: virtualize C9: %w", err)
+	}
+	if lab.UR3e, err = sess.Virtual(device.UR3e); err != nil {
+		return nil, fmt.Errorf("procedure: virtualize UR3e: %w", err)
+	}
+	if lab.IKA, err = sess.Virtual(device.IKA); err != nil {
+		return nil, fmt.Errorf("procedure: virtualize IKA: %w", err)
+	}
+	if lab.Tecan, err = sess.Virtual(device.Tecan); err != nil {
+		return nil, fmt.Errorf("procedure: virtualize Tecan: %w", err)
+	}
+	if lab.Quantos, err = sess.Virtual(device.Quantos); err != nil {
+		return nil, fmt.Errorf("procedure: virtualize Quantos: %w", err)
+	}
+	vlab.Lab = lab
+	return vlab, nil
+}
+
+// Close shuts the tracing session down, tears any serial links, and waits
+// for their firmware loops to exit.
+func (v *VirtualLab) Close() error {
+	err := v.Lab.Session.Close()
+	for _, p := range v.ports {
+		_ = p.Close()
+	}
+	v.fw.Wait()
+	return err
+}

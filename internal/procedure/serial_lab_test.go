@@ -1,0 +1,95 @@
+package procedure
+
+import (
+	"strings"
+	"testing"
+
+	"rad/internal/device"
+	"rad/internal/store"
+)
+
+// TestSerialLabRunsFullProcedure drives a complete P1 screen with the
+// serially attached instruments running behind their emulated serial stacks
+// — the full Fig. 2 pipeline: script → session → middlebox → serial driver →
+// baud-timed link → firmware → device simulator.
+func TestSerialLabRunsFullProcedure(t *testing.T) {
+	vl, err := NewVirtualLab(VirtualLabConfig{Seed: 4, SerialDevices: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := vl.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	res := RunSolubilityN9(vl.Lab, Options{Run: "serial-run", Solid: "NABH4", Vials: 1})
+	if res.Err != nil {
+		t.Fatalf("P1 over serial: %v", res.Err)
+	}
+	recs := vl.Sink.ByRun("serial-run")
+	if len(recs) != res.Commands {
+		t.Errorf("traced %d records for %d commands", len(recs), res.Commands)
+	}
+	// Multi-word responses survive the line protocol.
+	foundMVNG := false
+	for _, r := range recs {
+		if r.Name == "MVNG" && strings.Count(r.Response, " ") == 3 {
+			foundMVNG = true
+		}
+	}
+	if !foundMVNG {
+		t.Error("no well-formed MVNG response crossed the serial link")
+	}
+}
+
+// TestSerialLabErrorsPropagate checks that device errors cross the serial
+// protocol, the middlebox, and the tracer as exceptions.
+func TestSerialLabErrorsPropagate(t *testing.T) {
+	vl, err := NewVirtualLab(VirtualLabConfig{Seed: 4, SerialDevices: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vl.Close()
+
+	if _, err := vl.Lab.Tecan.Exec(device.Command{Name: device.Init}); err != nil {
+		t.Fatal(err)
+	}
+	// An out-of-range plunger move fails on the device, crosses the firmware
+	// as ERR, and surfaces at the script as an error.
+	if _, err := vl.Lab.Tecan.Exec(device.Command{Name: "A", Args: []string{"99999"}}); err == nil {
+		t.Fatal("expected device error through the serial stack")
+	}
+	bad := vl.Sink.Filter(func(r store.Record) bool { return r.Exception != "" })
+	if len(bad) != 1 {
+		t.Errorf("%d exception records, want 1", len(bad))
+	}
+}
+
+// TestSerialLabMatchesDirectLabBehaviour runs the same seeded procedure on a
+// direct lab and a serial lab: the command sequences must be identical (the
+// transport must be semantically transparent).
+func TestSerialLabMatchesDirectLabBehaviour(t *testing.T) {
+	runOn := func(serialDevices bool) []string {
+		vl, err := NewVirtualLab(VirtualLabConfig{Seed: 9, SerialDevices: serialDevices})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer vl.Close()
+		res := RunCrystalSolubility(vl.Lab, Options{Run: "x", Seed: 77, Vials: 1})
+		if res.Err != nil {
+			t.Fatalf("run (serial=%v): %v", serialDevices, res.Err)
+		}
+		return vl.Sink.CommandSequence(nil)
+	}
+	direct := runOn(false)
+	overSerial := runOn(true)
+	if len(direct) != len(overSerial) {
+		t.Fatalf("sequence lengths differ: direct %d, serial %d", len(direct), len(overSerial))
+	}
+	for i := range direct {
+		if direct[i] != overSerial[i] {
+			t.Fatalf("sequences diverge at %d: %s vs %s", i, direct[i], overSerial[i])
+		}
+	}
+}

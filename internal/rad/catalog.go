@@ -1,0 +1,31 @@
+package rad
+
+import (
+	"sort"
+
+	"rad/internal/device"
+)
+
+// deviceLegendOrder sorts device names by descending trace count, matching
+// the Fig. 5(a) legend.
+func deviceLegendOrder(counts map[string]int) []string {
+	names := device.Names()
+	sort.SliceStable(names, func(i, j int) bool {
+		return counts[names[i]] > counts[names[j]]
+	})
+	return names
+}
+
+// deviceCatalog returns the catalog entries for one device.
+func deviceCatalog(dev string) []device.CommandSpec {
+	return device.CommandsFor(dev)
+}
+
+// catalogKeys indexes the 52 command-type keys.
+func catalogKeys() map[string]bool {
+	out := make(map[string]bool, 52)
+	for _, spec := range device.Catalog() {
+		out[spec.Key()] = true
+	}
+	return out
+}

@@ -1,0 +1,331 @@
+// Package rad assembles the Robotic Arm Dataset: a synthetic reproduction of
+// the three-month trace collection described in §IV. It generates the 25
+// supervised procedure runs (12×P4 joystick, 5×P1, 4×P2, 4×P3, three of
+// which end in physical crashes), the unsupervised prototyping bulk, and the
+// power captures for the supervised P2 runs — landing exactly on the
+// per-device trace-object totals the paper reports for Fig. 5(a).
+package rad
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"rad/internal/device"
+	"rad/internal/power"
+	"rad/internal/procedure"
+	"rad/internal/store"
+)
+
+// TotalTraceObjects is the command-dataset size the paper reports (§IV).
+const TotalTraceObjects = 128785
+
+// DeviceTargets are the per-device trace-object totals from the Fig. 5(a)
+// legend. They sum to TotalTraceObjects.
+func DeviceTargets() map[string]int {
+	return map[string]int{
+		device.C9:      93231,
+		device.Tecan:   16279,
+		device.IKA:     11448,
+		device.UR3e:    5460,
+		device.Quantos: 2367,
+	}
+}
+
+// NumSupervisedRuns is the number of supervised procedure runs (§IV).
+const NumSupervisedRuns = 25
+
+// RunInfo describes one supervised run, in Fig. 6 ID order: IDs 0–11 are
+// Joystick Movements (P4), 12–16 Automated Solubility with N9 (P1), 17–20
+// Automated Solubility with N9 and UR3e (P2), 21–24 Crystal Solubility (P3).
+type RunInfo struct {
+	ID        int
+	Run       string
+	Procedure string
+	Anomalous bool
+	Commands  int
+	Note      string
+}
+
+// Config configures Generate.
+type Config struct {
+	// Seed drives the entire campaign deterministically.
+	Seed uint64
+	// Scale shrinks the unsupervised bulk (and the per-device targets) for
+	// fast tests: 1.0 (or 0) generates the full 128,785-object dataset. The
+	// 25 supervised runs are generated at every scale.
+	Scale float64
+}
+
+// Dataset is the generated RAD.
+type Dataset struct {
+	// Store holds the command dataset.
+	Store *store.MemStore
+	// Runs are the 25 supervised runs in Fig. 6 ID order.
+	Runs []RunInfo
+	// PowerByRun holds the UR3e power capture of each supervised P2 run.
+	PowerByRun map[string][]power.Sample
+	// Targets are the (possibly scaled) per-device totals the generator
+	// aimed for; at scale 1.0 these are the paper's numbers.
+	Targets map[string]int
+}
+
+// Generate produces the synthetic RAD.
+func Generate(cfg Config) (*Dataset, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	start := time.Date(2021, 9, 1, 9, 0, 0, 0, time.UTC)
+	vl, err := procedure.NewVirtualLab(procedure.VirtualLabConfig{
+		Start: start, Seed: cfg.Seed, WithPower: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rad: build lab: %w", err)
+	}
+	defer vl.Close()
+
+	g := &generator{cfg: cfg, vl: vl, start: start,
+		rng: rand.New(rand.NewPCG(cfg.Seed^0xabcd, cfg.Seed+0x1234))}
+	ds := &Dataset{
+		Store:      vl.Sink,
+		PowerByRun: make(map[string][]power.Sample),
+		Targets:    scaledTargets(cfg.Scale),
+	}
+	if err := g.supervised(ds); err != nil {
+		return nil, err
+	}
+	if err := g.unsupervised(ds); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+func scaledTargets(scale float64) map[string]int {
+	out := make(map[string]int, 5)
+	for dev, n := range DeviceTargets() {
+		out[dev] = int(math.Round(float64(n) * scale))
+	}
+	return out
+}
+
+type generator struct {
+	cfg   Config
+	vl    *procedure.VirtualLab
+	start time.Time
+	rng   *rand.Rand
+}
+
+// nextDay moves the campaign clock to the morning of a later day, spreading
+// sessions across the three-month window.
+func (g *generator) nextDay(days int) {
+	now := g.vl.Clock.Now()
+	target := now.Truncate(24 * time.Hour).Add(time.Duration(days)*24*time.Hour +
+		time.Duration(8+g.rng.IntN(9))*time.Hour)
+	g.vl.Clock.Set(target)
+}
+
+// dryRunCommands measures how many commands a run issues by executing it on
+// a scratch lab with the same per-run seed. Per-run seeds make the command
+// sequence independent of surrounding lab state, so the measurement places
+// crash and stop points deterministically.
+func (g *generator) dryRunCommands(kind string, opts procedure.Options) (int, error) {
+	scratch, err := procedure.NewVirtualLab(procedure.VirtualLabConfig{Seed: g.cfg.Seed ^ 0xdead})
+	if err != nil {
+		return 0, fmt.Errorf("rad: scratch lab: %w", err)
+	}
+	defer scratch.Close()
+	res := runKind(scratch.Lab, kind, opts)
+	if res.Err != nil {
+		return 0, fmt.Errorf("rad: dry run %s: %w", kind, res.Err)
+	}
+	return res.Commands, nil
+}
+
+func runKind(lab *procedure.Lab, kind string, opts procedure.Options) procedure.Result {
+	switch kind {
+	case procedure.P1:
+		return procedure.RunSolubilityN9(lab, opts)
+	case procedure.P2:
+		return procedure.RunSolubilityN9UR(lab, opts)
+	case procedure.P3:
+		return procedure.RunCrystalSolubility(lab, opts)
+	default:
+		return procedure.RunJoystick(lab, opts, 0)
+	}
+}
+
+// supervised executes the 25 supervised runs in Fig. 6 ID order, injecting
+// the three anomalies exactly where the paper's narrative places them.
+func (g *generator) supervised(ds *Dataset) error {
+	type spec struct {
+		kind string
+		opts procedure.Options
+		note string
+		// fractions of the dry-run command count at which to crash or stop
+		// (0 = none).
+		crashAt  float64
+		crashDev string
+		crashWhy string
+		stopAt   float64
+	}
+	seed := func(id int) uint64 { return g.cfg.Seed*1000 + uint64(id) + 1 }
+
+	// Benign runs are not sterile: several contain operator quirks (manual
+	// detours between phases) — the realistic irregularities behind the
+	// perplexity IDS's false positives (Table I).
+	quirks := map[int]int{2: 6, 5: 3, 9: 2, 13: 4, 19: 4, 23: 3}
+
+	specs := make([]spec, 0, NumSupervisedRuns)
+	// IDs 0–11: joystick sessions of varying length.
+	for id := 0; id < 12; id++ {
+		specs = append(specs, spec{kind: procedure.Joystick,
+			opts: procedure.Options{Seed: seed(id)},
+			note: "joystick session"})
+	}
+	// IDs 12–16: Automated Solubility with N9.
+	specs = append(specs,
+		spec{kind: procedure.P1, note: "used joystick to position N9; ran out of solid before dosing",
+			opts: procedure.Options{Seed: seed(12), JoystickPrefix: 40, StopBeforeDosing: true}},
+		spec{kind: procedure.P1, opts: procedure.Options{Seed: seed(13), Solid: "NABH4"}},
+		spec{kind: procedure.P1, opts: procedure.Options{Seed: seed(14), Solid: "CSTI"}},
+		spec{kind: procedure.P1, opts: procedure.Options{Seed: seed(15), Solid: "GENTISTIC"}},
+		spec{kind: procedure.P1, note: "ANOMALY: Quantos front door crashed with the robot",
+			opts:    procedure.Options{Seed: seed(16), Solid: "NABH4"},
+			crashAt: 0.65, crashDev: device.Quantos, crashWhy: "front door crashed with the N9 robot"},
+	)
+	// IDs 17–20: Automated Solubility with N9 and UR3e.
+	specs = append(specs,
+		spec{kind: procedure.P2, note: "ANOMALY: Quantos front door crashed into UR3e at ~10%",
+			opts:    procedure.Options{Seed: seed(17), Solid: "NABH4"},
+			crashAt: 0.08, crashDev: device.Quantos, crashWhy: "front door crashed into UR3e"},
+		spec{kind: procedure.P2, note: "wrong gripper configuration; operator stopped at ~10%",
+			opts:   procedure.Options{Seed: seed(18), Solid: "NABH4"},
+			stopAt: 0.10},
+		spec{kind: procedure.P2, opts: procedure.Options{Seed: seed(19), Solid: "CSTI"}},
+		spec{kind: procedure.P2, opts: procedure.Options{Seed: seed(20), Solid: "GENTISTIC"}},
+	)
+	// IDs 21–24: Crystal Solubility.
+	specs = append(specs,
+		spec{kind: procedure.P3, opts: procedure.Options{Seed: seed(21)}},
+		spec{kind: procedure.P3, note: "ANOMALY: arm crashed with the Tecan at the end",
+			opts:    procedure.Options{Seed: seed(22)},
+			crashAt: 0.97, crashDev: device.C9, crashWhy: "N9 arm crashed with the Tecan"},
+		spec{kind: procedure.P3, opts: procedure.Options{Seed: seed(23)}},
+		spec{kind: procedure.P3, opts: procedure.Options{Seed: seed(24)}},
+	)
+
+	for id, sp := range specs {
+		sp.opts.Run = fmt.Sprintf("run-%d", id)
+		sp.opts.Quirks = quirks[id]
+		if sp.crashAt > 0 || sp.stopAt > 0 {
+			total, err := g.dryRunCommands(sp.kind, sp.opts)
+			if err != nil {
+				return err
+			}
+			if sp.crashAt > 0 {
+				sp.opts.Crash = &procedure.CrashPlan{
+					Device: sp.crashDev, Reason: sp.crashWhy,
+					AfterCommands: int(sp.crashAt * float64(total)),
+				}
+			}
+			if sp.stopAt > 0 {
+				sp.opts.StopAfterCommands = int(sp.stopAt * float64(total))
+			}
+		}
+
+		g.nextDay(1 + g.rng.IntN(2))
+		monStart := g.vl.Lab.Monitor.Len()
+		res := runKind(g.vl.Lab, sp.kind, sp.opts)
+		if res.Err != nil && !res.Anomalous && res.Err != procedure.Stopped {
+			return fmt.Errorf("rad: supervised %s (%s): %w", sp.opts.Run, sp.kind, res.Err)
+		}
+		// Clear any fault the crash left armed so later activity proceeds.
+		if sp.crashDev != "" {
+			if fa, ok := g.vl.Lab.Faultable(sp.crashDev); ok {
+				fa.ClearFault()
+			}
+		}
+		if sp.kind == procedure.P2 {
+			all := g.vl.Lab.Monitor.Samples()
+			ds.PowerByRun[sp.opts.Run] = all[monStart:]
+		}
+		ds.Runs = append(ds.Runs, RunInfo{
+			ID: id, Run: sp.opts.Run, Procedure: sp.kind,
+			Anomalous: res.Anomalous, Commands: res.Commands, Note: sp.note,
+		})
+	}
+	// The power monitor keeps recording during unsupervised activity; reset
+	// it so the bulk phase does not hold tens of millions of quiescent
+	// entries in memory (the paper similarly stores only a fraction of
+	// quiescent samples).
+	g.vl.Lab.Monitor.Reset()
+	return nil
+}
+
+// unsupervised generates the campaign bulk: unlabeled screens, joystick
+// prototyping, and per-device top-up sessions landing exactly on the scaled
+// Fig. 5(a) totals.
+func (g *generator) unsupervised(ds *Dataset) error {
+	scale := g.cfg.Scale
+	round := func(n float64) int { return int(math.Round(n * scale)) }
+
+	// Structured unlabeled activity, sized to stay safely under each
+	// device's target so the top-up fill is always non-negative at scale 1.
+	nJoy, nP1, nP2, nP3 := round(40), round(20), round(10), round(8)
+	solids := []string{"NABH4", "CSTI", "GENTISTIC"}
+	for i := 0; i < nJoy; i++ {
+		g.nextDay(g.rng.IntN(2))
+		if res := procedure.RunJoystick(g.vl.Lab, procedure.Options{Unsupervised: true}, 0); res.Err != nil {
+			return fmt.Errorf("rad: unsupervised joystick: %w", res.Err)
+		}
+	}
+	for i := 0; i < nP1; i++ {
+		g.nextDay(g.rng.IntN(2))
+		opts := procedure.Options{Unsupervised: true, Solid: solids[g.rng.IntN(3)], Vials: 1 + g.rng.IntN(3)}
+		if res := procedure.RunSolubilityN9(g.vl.Lab, opts); res.Err != nil {
+			return fmt.Errorf("rad: unsupervised P1: %w", res.Err)
+		}
+	}
+	for i := 0; i < nP2; i++ {
+		g.nextDay(g.rng.IntN(2))
+		opts := procedure.Options{Unsupervised: true, Solid: solids[g.rng.IntN(3)], Vials: 1 + g.rng.IntN(2)}
+		if res := procedure.RunSolubilityN9UR(g.vl.Lab, opts); res.Err != nil {
+			return fmt.Errorf("rad: unsupervised P2: %w", res.Err)
+		}
+		g.vl.Lab.Monitor.Reset()
+	}
+	for i := 0; i < nP3; i++ {
+		g.nextDay(g.rng.IntN(2))
+		opts := procedure.Options{Unsupervised: true, Vials: 1 + g.rng.IntN(3)}
+		if res := procedure.RunCrystalSolubility(g.vl.Lab, opts); res.Err != nil {
+			return fmt.Errorf("rad: unsupervised P3: %w", res.Err)
+		}
+	}
+
+	// Top-up fill: land exactly on the per-device targets. At small scales
+	// the structured activity may already exceed a target; the deficit
+	// clamps to zero (totals are exact at scale 1, asserted in tests).
+	counts := ds.Store.CountByDevice()
+	for _, dev := range device.Names() {
+		deficit := ds.Targets[dev] - counts[dev]
+		for deficit > 0 {
+			// Fill in bounded sessions: keeps the UR3e power buffer small
+			// (reset between chunks) and interleaves days realistically.
+			chunk := deficit
+			if chunk > 2500 {
+				chunk = 2500
+			}
+			n, err := procedure.FillDevice(g.vl.Lab, dev, chunk)
+			if err != nil {
+				return fmt.Errorf("rad: fill %s: %w", dev, err)
+			}
+			deficit -= n
+			if dev == device.UR3e {
+				g.vl.Lab.Monitor.Reset()
+			}
+			g.nextDay(g.rng.IntN(2))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package robot
+
+import "math"
+
+// EffectiveReachMM is the effective lever arm used to convert the linear
+// tool velocities that Hein Lab scripts command (mm/s, procedure P5) into
+// leading-joint angular velocities. The UR3e has a 500 mm reach; vials are
+// handled around 300 mm from the base.
+const EffectiveReachMM = 300.0
+
+// LinearToAngular converts a commanded linear tool velocity in mm/s to the
+// leading-joint angular velocity in rad/s used by the move planner.
+func LinearToAngular(mmPerSec float64) float64 {
+	return mmPerSec / EffectiveReachMM
+}
+
+// DefaultAccel is the joint acceleration limit (rad/s^2) used when a script
+// does not override it, chosen so typical vial moves last one to three
+// seconds as in the lab.
+const DefaultAccel = 1.2
+
+// DefaultVelocityMMS is the linear velocity Hein Lab scripts use when the
+// script does not specify one.
+const DefaultVelocityMMS = 200.0
+
+// Named joint configurations used by the paper's procedures. L0–L5 are the
+// waypoints of P2's five move_joints segments (Fig. 7a); the remaining names
+// are the pick-and-place waypoints of the vial-transfer portion of P2
+// (Fig. 7b). Angles in radians.
+var locations = map[string]Config{
+	"home": {0, -math.Pi / 2, 0, -math.Pi / 2, 0, 0},
+
+	// The five Fig. 7(a) segments L0→L1 … L4→L5. Each consecutive pair
+	// differs in base-rotation magnitude and direction AND in how the arm's
+	// extension (shoulder+elbow) evolves, so each segment excites the
+	// joint-1 current in its own way — five visibly distinct, repeatable
+	// signatures. Segment character (base Δ, extension path):
+	//   L0→L1: +0.9, folded → mid
+	//   L1→L2: −1.3, mid → extended
+	//   L2→L3: +0.3 (shoulder-led move), extended → folded
+	//   L3→L4: +1.2, folded → extended
+	//   L4→L5: −0.6, extended → mid
+	"L0": {0.00, -1.57, 0.00, -1.57, 0.00, 0.00},
+	"L1": {0.90, -1.20, 0.35, -1.40, 0.20, 0.00},
+	"L2": {-0.40, -1.50, 0.90, -1.00, -0.30, 0.25},
+	"L3": {-0.10, -2.00, 0.40, -1.80, 0.45, -0.20},
+	"L4": {1.10, -1.10, 0.60, -0.90, 0.10, 0.40},
+	"L5": {0.50, -1.70, 0.80, -1.30, -0.50, 0.15},
+
+	// Vial transfer waypoints (storage rack → Quantos → home).
+	"storage_rack":   {1.10, -1.05, 0.50, -1.60, 0.30, 0.10},
+	"above_rack":     {1.10, -1.25, 0.40, -1.50, 0.30, 0.10},
+	"quantos_tray":   {-1.20, -0.95, 0.70, -1.40, -0.40, 0.00},
+	"above_quantos":  {-1.20, -1.15, 0.55, -1.30, -0.40, 0.00},
+	"camera_station": {0.45, -1.30, 0.25, -1.45, 0.60, -0.10},
+}
+
+// Location returns the named joint configuration, reporting whether the name
+// is known.
+func Location(name string) (Config, bool) {
+	c, ok := locations[name]
+	return c, ok
+}
+
+// LocationNames returns the waypoint names in a stable order.
+func LocationNames() []string {
+	return []string{
+		"home", "L0", "L1", "L2", "L3", "L4", "L5",
+		"storage_rack", "above_rack", "quantos_tray", "above_quantos", "camera_station",
+	}
+}
+
+// SegmentWaypoints returns the ordered L0..L5 waypoints of procedure P2's
+// five move_joints segments.
+func SegmentWaypoints() []string {
+	return []string{"L0", "L1", "L2", "L3", "L4", "L5"}
+}

@@ -1,0 +1,114 @@
+// Package robot implements the joint-space kinematics substrate for the
+// simulated UR3e arm: trapezoidal velocity profiles, synchronized
+// multi-joint moves, and the named waypoints (L0–L5, storage rack, Quantos
+// tray, home) used by the paper's procedures P2, P5, and P6.
+//
+// The power dataset analysis (§VI) rests on the physics of arm motion:
+// currents follow the acceleration/cruise/deceleration phases of each move,
+// so the trajectory model here is what gives the power simulator its
+// characteristic, repeatable per-segment signatures (Fig. 7).
+package robot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Profile is a trapezoidal velocity profile covering a scalar distance D
+// with peak velocity at most Vmax and acceleration magnitude Amax. When the
+// distance is too short to reach Vmax the profile degenerates to a triangle
+// (accelerate halfway, decelerate halfway).
+type Profile struct {
+	D    float64 // total distance (always >= 0)
+	Vmax float64 // commanded velocity limit (> 0)
+	Amax float64 // acceleration magnitude (> 0)
+
+	vPeak float64 // velocity actually reached
+	tAcc  float64 // acceleration phase duration
+	tCru  float64 // cruise phase duration
+}
+
+// NewProfile builds a trapezoidal profile. It returns an error for
+// non-positive velocity or acceleration limits; a zero distance yields a
+// valid zero-duration profile.
+func NewProfile(dist, vmax, amax float64) (Profile, error) {
+	if vmax <= 0 || amax <= 0 {
+		return Profile{}, fmt.Errorf("robot: profile limits must be positive (vmax=%v, amax=%v): %w",
+			vmax, amax, errBadLimit)
+	}
+	if dist < 0 || math.IsNaN(dist) || math.IsInf(dist, 0) {
+		return Profile{}, fmt.Errorf("robot: profile distance %v invalid: %w", dist, errBadLimit)
+	}
+	p := Profile{D: dist, Vmax: vmax, Amax: amax}
+	// Distance needed to accelerate to vmax and back to rest.
+	dFull := vmax * vmax / amax
+	if dist >= dFull {
+		p.vPeak = vmax
+		p.tAcc = vmax / amax
+		p.tCru = (dist - dFull) / vmax
+	} else {
+		p.vPeak = math.Sqrt(dist * amax)
+		p.tAcc = p.vPeak / amax
+		p.tCru = 0
+	}
+	return p, nil
+}
+
+var errBadLimit = errors.New("robot: invalid profile parameter")
+
+// Duration returns the total time the profile takes.
+func (p Profile) Duration() float64 { return 2*p.tAcc + p.tCru }
+
+// Peak returns the peak velocity actually reached.
+func (p Profile) Peak() float64 { return p.vPeak }
+
+// Velocity returns the profile velocity at time t (clamped to [0, Duration]).
+func (p Profile) Velocity(t float64) float64 {
+	switch {
+	case t <= 0 || p.D == 0:
+		return 0
+	case t < p.tAcc:
+		return p.Amax * t
+	case t < p.tAcc+p.tCru:
+		return p.vPeak
+	case t < p.Duration():
+		return p.vPeak - p.Amax*(t-p.tAcc-p.tCru)
+	default:
+		return 0
+	}
+}
+
+// Accel returns the profile acceleration at time t.
+func (p Profile) Accel(t float64) float64 {
+	switch {
+	case t < 0 || p.D == 0 || t >= p.Duration():
+		return 0
+	case t < p.tAcc:
+		return p.Amax
+	case t < p.tAcc+p.tCru:
+		return 0
+	default:
+		return -p.Amax
+	}
+}
+
+// Position returns the distance covered by time t, in [0, D].
+func (p Profile) Position(t float64) float64 {
+	switch {
+	case t <= 0 || p.D == 0:
+		return 0
+	case t < p.tAcc:
+		return 0.5 * p.Amax * t * t
+	case t < p.tAcc+p.tCru:
+		dAcc := 0.5 * p.Amax * p.tAcc * p.tAcc
+		return dAcc + p.vPeak*(t-p.tAcc)
+	case t < p.Duration():
+		td := t - p.tAcc - p.tCru
+		dAcc := 0.5 * p.Amax * p.tAcc * p.tAcc
+		dCru := p.vPeak * p.tCru
+		return dAcc + dCru + p.vPeak*td - 0.5*p.Amax*td*td
+	default:
+		return p.D
+	}
+}

@@ -1,0 +1,82 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualStartsAtGivenInstant(t *testing.T) {
+	start := time.Date(2021, 9, 1, 9, 0, 0, 0, time.UTC)
+	v := NewVirtual(start)
+	if !v.Now().Equal(start) {
+		t.Errorf("Now() = %v, want %v", v.Now(), start)
+	}
+}
+
+func TestVirtualSleepAdvances(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	v.Sleep(3 * time.Second)
+	v.Sleep(500 * time.Millisecond)
+	if got := v.Now().UnixMilli(); got != 3500 {
+		t.Errorf("after sleeps, now = %dms", got)
+	}
+}
+
+func TestVirtualNegativeSleepIgnored(t *testing.T) {
+	v := NewVirtual(time.Unix(100, 0))
+	v.Sleep(-time.Hour)
+	if got := v.Now(); !got.Equal(time.Unix(100, 0)) {
+		t.Errorf("negative sleep moved the clock to %v", got)
+	}
+}
+
+func TestVirtualSetNeverMovesBackwards(t *testing.T) {
+	v := NewVirtual(time.Unix(1000, 0))
+	v.Set(time.Unix(500, 0))
+	if got := v.Now(); !got.Equal(time.Unix(1000, 0)) {
+		t.Errorf("Set moved clock backwards to %v", got)
+	}
+	v.Set(time.Unix(2000, 0))
+	if got := v.Now(); !got.Equal(time.Unix(2000, 0)) {
+		t.Errorf("Set forward: %v", got)
+	}
+}
+
+func TestVirtualAdvanceAliasesSleep(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	v.Advance(time.Minute)
+	if got := v.Now(); !got.Equal(time.Unix(60, 0)) {
+		t.Errorf("Advance: %v", got)
+	}
+}
+
+func TestVirtualConcurrentUse(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				v.Sleep(time.Millisecond)
+				_ = v.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Now(); !got.Equal(time.Unix(8, 0)) {
+		t.Errorf("after 8000 concurrent 1ms sleeps, now = %v, want 1970-01-01T00:00:08Z", got)
+	}
+}
+
+func TestRealClockMonotoneAndSleeps(t *testing.T) {
+	var r Real
+	a := r.Now()
+	r.Sleep(5 * time.Millisecond)
+	b := r.Now()
+	if d := b.Sub(a); d < 5*time.Millisecond {
+		t.Errorf("Real.Sleep(5ms) elapsed only %v", d)
+	}
+	r.Sleep(-time.Second) // must not block or panic
+}

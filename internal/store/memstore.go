@@ -1,0 +1,136 @@
+package store
+
+import (
+	"sort"
+	"sync"
+)
+
+// Sink consumes trace records. The middlebox logs every command, response,
+// and exception to one or more sinks (Fig. 1, step 6).
+type Sink interface {
+	Append(r Record) error
+}
+
+// MemStore is an in-memory document store standing in for RATracer's MongoDB
+// instance. It assigns sequence numbers, keeps insertion order, and offers
+// the query shapes the analyses need. It is safe for concurrent use.
+type MemStore struct {
+	mu      sync.RWMutex
+	records []Record
+	nextSeq uint64
+}
+
+var _ Sink = (*MemStore)(nil)
+
+// NewMemStore returns an empty store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Append stores the record, assigning its sequence number.
+func (s *MemStore) Append(r Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.Seq = s.nextSeq
+	s.nextSeq++
+	s.records = append(s.records, r)
+	return nil
+}
+
+// Len returns the number of stored records.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// All returns a copy of every record in insertion order.
+func (s *MemStore) All() []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Record, len(s.records))
+	copy(out, s.records)
+	return out
+}
+
+// Filter returns the records matching pred, in insertion order.
+func (s *MemStore) Filter(pred func(Record) bool) []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Record
+	for _, r := range s.records {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ByDevice returns the records for one device.
+func (s *MemStore) ByDevice(device string) []Record {
+	return s.Filter(func(r Record) bool { return r.Device == device })
+}
+
+// ByProcedure returns the records labelled with the given procedure type.
+func (s *MemStore) ByProcedure(proc string) []Record {
+	return s.Filter(func(r Record) bool { return r.Procedure == proc })
+}
+
+// ByRun returns the records of one supervised run.
+func (s *MemStore) ByRun(run string) []Record {
+	return s.Filter(func(r Record) bool { return r.Run == run })
+}
+
+// Runs returns the distinct supervised run identifiers, sorted.
+func (s *MemStore) Runs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := make(map[string]bool)
+	for _, r := range s.records {
+		if r.Run != "" {
+			set[r.Run] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for run := range set {
+		out = append(out, run)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CountByCommand returns the number of trace objects per command type
+// ("Device.Name"), the Fig. 5(a) distribution.
+func (s *MemStore) CountByCommand() map[string]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := make(map[string]int)
+	for _, r := range s.records {
+		m[r.Key()]++
+	}
+	return m
+}
+
+// CountByDevice returns the number of trace objects per device, the Fig. 5(a)
+// legend totals.
+func (s *MemStore) CountByDevice() map[string]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := make(map[string]int)
+	for _, r := range s.records {
+		m[r.Device]++
+	}
+	return m
+}
+
+// CommandSequence returns the ordered command names (bare names, as used by
+// the n-gram analyses in §V) for records matching pred.
+func (s *MemStore) CommandSequence(pred func(Record) bool) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for _, r := range s.records {
+		if pred == nil || pred(r) {
+			out = append(out, r.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package tracer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"rad/internal/wire"
+)
+
+// Router implements Transport by routing each request to the middlebox
+// responsible for its device — the client side of the distributed
+// architecture the paper anticipates for growth beyond one middlebox ("as
+// the number of devices grows from five to fifty … a single middlebox will
+// not suffice", §VII). A session built on a Router traces transparently
+// across any number of middleboxes.
+type Router struct {
+	mu       sync.RWMutex
+	routes   map[string]Transport
+	fallback Transport
+	closed   bool
+}
+
+var _ Transport = (*Router)(nil)
+
+// ErrNoRoute is returned for a request whose device has no route and no
+// fallback transport exists.
+var ErrNoRoute = errors.New("tracer: no route for device")
+
+// NewRouter creates a router. fallback (which may be nil) receives requests
+// for devices without explicit routes and protocol traffic such as pings.
+func NewRouter(fallback Transport) *Router {
+	return &Router{routes: make(map[string]Transport), fallback: fallback}
+}
+
+// Route directs the named device's traffic to t. Later calls replace
+// earlier routes.
+func (r *Router) Route(device string, t Transport) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.routes[device] = t
+}
+
+// transportFor picks the transport for one request.
+func (r *Router) transportFor(req wire.Request) (Transport, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed {
+		return nil, errors.New("tracer: router closed")
+	}
+	if req.Device != "" {
+		if t, ok := r.routes[req.Device]; ok {
+			return t, nil
+		}
+	}
+	if r.fallback != nil {
+		return r.fallback, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrNoRoute, req.Device)
+}
+
+// RoundTrip implements Transport.
+func (r *Router) RoundTrip(req wire.Request) (wire.Reply, error) {
+	t, err := r.transportFor(req)
+	if err != nil {
+		return wire.Reply{}, err
+	}
+	return t.RoundTrip(req)
+}
+
+// Close closes every distinct underlying transport once.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	seen := make(map[Transport]struct{})
+	var firstErr error
+	closeOnce := func(t Transport) {
+		if t == nil {
+			return
+		}
+		if _, done := seen[t]; done {
+			return
+		}
+		seen[t] = struct{}{}
+		if err := t.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, t := range r.routes {
+		closeOnce(t)
+	}
+	closeOnce(r.fallback)
+	return firstErr
+}

@@ -1,0 +1,130 @@
+package tracer
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rad/internal/device"
+	"rad/internal/device/c9"
+	"rad/internal/device/tecan"
+	"rad/internal/middlebox"
+	"rad/internal/simclock"
+	"rad/internal/store"
+	"rad/internal/wire"
+)
+
+// TestRouterShardsDevicesAcrossMiddleboxes builds the paper's anticipated
+// distributed deployment: two middleboxes, each owning a subset of devices,
+// with one tracing session spanning both through a Router.
+func TestRouterShardsDevicesAcrossMiddleboxes(t *testing.T) {
+	clock := simclock.NewVirtual(time.Date(2021, 10, 1, 9, 0, 0, 0, time.UTC))
+
+	sinkA, sinkB := store.NewMemStore(), store.NewMemStore()
+	coreA := middlebox.NewCore(clock, sinkA)
+	coreB := middlebox.NewCore(clock, sinkB)
+	coreA.Register(c9.New(device.NewEnv(clock, 1)))
+	coreB.Register(tecan.New(device.NewEnv(clock, 2)))
+
+	router := NewRouter(nil)
+	router.Route(device.C9, NewLocalTransport(coreA, clock, middlebox.NetworkProfile{}, 1))
+	router.Route(device.Tecan, NewLocalTransport(coreB, clock, middlebox.NetworkProfile{}, 2))
+
+	sess := NewSession(router, clock, Config{DefaultMode: ModeRemote, Procedure: "P1", Run: "r"})
+	defer sess.Close()
+
+	arm, err := sess.Virtual(device.C9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pump, err := sess.Virtual(device.Tecan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := arm.Exec(device.Command{Name: device.Init}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pump.Exec(device.Command{Name: device.Init}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := arm.Exec(device.Command{Name: "MVNG"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pump.Exec(device.Command{Name: "Q"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each middlebox logged exactly its own device's traffic.
+	if got := sinkA.Len(); got != 2 {
+		t.Errorf("middlebox A logged %d records, want 2", got)
+	}
+	if got := sinkB.Len(); got != 2 {
+		t.Errorf("middlebox B logged %d records, want 2", got)
+	}
+	for _, r := range sinkA.All() {
+		if r.Device != device.C9 {
+			t.Errorf("middlebox A saw %s traffic", r.Device)
+		}
+	}
+	for _, r := range sinkB.All() {
+		if r.Device != device.Tecan {
+			t.Errorf("middlebox B saw %s traffic", r.Device)
+		}
+	}
+}
+
+func TestRouterNoRoute(t *testing.T) {
+	router := NewRouter(nil)
+	_, err := router.RoundTrip(wire.Request{Op: wire.OpExec, Device: "Ghost", Name: "x"})
+	if !errors.Is(err, ErrNoRoute) {
+		t.Errorf("want ErrNoRoute, got %v", err)
+	}
+}
+
+func TestRouterFallback(t *testing.T) {
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	core := middlebox.NewCore(clock, nil)
+	core.Register(c9.New(device.NewEnv(clock, 1)))
+	fallback := NewLocalTransport(core, clock, middlebox.NetworkProfile{}, 1)
+	router := NewRouter(fallback)
+
+	// Unrouted devices and pings go to the fallback.
+	reply, err := router.RoundTrip(wire.Request{ID: 1, Op: wire.OpPing})
+	if err != nil || reply.Value != "pong" {
+		t.Errorf("ping via fallback: %+v, %v", reply, err)
+	}
+	reply, err = router.RoundTrip(wire.Request{ID: 2, Op: wire.OpExec, Device: device.C9, Name: device.Init})
+	if err != nil || reply.Error != "" {
+		t.Errorf("exec via fallback: %+v, %v", reply, err)
+	}
+}
+
+// closeCounter counts closes to verify dedup.
+type closeCounter struct{ n int }
+
+func (c *closeCounter) RoundTrip(req wire.Request) (wire.Reply, error) {
+	return wire.Reply{ID: req.ID}, nil
+}
+func (c *closeCounter) Close() error { c.n++; return nil }
+
+func TestRouterCloseDedupes(t *testing.T) {
+	shared := &closeCounter{}
+	router := NewRouter(shared)
+	router.Route("A", shared)
+	router.Route("B", shared)
+	other := &closeCounter{}
+	router.Route("C", other)
+	if err := router.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if shared.n != 1 || other.n != 1 {
+		t.Errorf("closes: shared %d, other %d; want 1 each", shared.n, other.n)
+	}
+	// Closed router rejects traffic; double close is harmless.
+	if _, err := router.RoundTrip(wire.Request{Op: wire.OpPing}); err == nil {
+		t.Error("closed router accepted traffic")
+	}
+	if err := router.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}

@@ -1,0 +1,58 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzReadFrame hardens the middlebox's untrusted input path: arbitrary
+// bytes must never panic or allocate unboundedly — they may only produce an
+// error or a valid request.
+func FuzzReadFrame(f *testing.F) {
+	// Seed corpus: a valid frame, a truncated frame, garbage, an oversized
+	// header, and an empty input.
+	var valid bytes.Buffer
+	_ = WriteFrame(&valid, Request{ID: 1, Op: OpExec, Device: "C9", Name: "ARM", Args: []string{"1"}})
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())-3])
+	f.Add([]byte("garbage"))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		_ = ReadFrame(bytes.NewReader(data), &req) // must not panic
+	})
+}
+
+// FuzzFrameRoundTrip: any request that encodes must decode to itself.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint64(1), "C9", "ARM", "1|2|3", "ok", "")
+	f.Add(uint64(0), "", "", "", "", "some error")
+	f.Fuzz(func(t *testing.T, id uint64, dev, name, args, value, errStr string) {
+		// encoding/json replaces invalid UTF-8 with U+FFFD by design; the
+		// round-trip identity only holds for valid strings.
+		for _, s := range []string{dev, name, args, value, errStr} {
+			if !utf8.ValidString(s) {
+				t.Skip()
+			}
+		}
+		in := Request{ID: id, Op: OpExec, Device: dev, Name: name, Value: value, Error: errStr}
+		if args != "" {
+			in.Args = []string{args}
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, in); err != nil {
+			t.Skip() // oversized inputs are rejected by design
+		}
+		var out Request
+		if err := ReadFrame(&buf, &out); err != nil {
+			t.Fatalf("decode of just-encoded frame: %v", err)
+		}
+		if out.ID != in.ID || out.Device != in.Device || out.Name != in.Name ||
+			out.Value != in.Value || out.Error != in.Error {
+			t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+		}
+	})
+}

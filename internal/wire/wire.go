@@ -1,0 +1,119 @@
+// Package wire implements the RPC message framing used between the lab
+// computer (the tracer client) and the trusted middlebox.
+//
+// The paper's RATracer uses gRPC; this reproduction keeps the same
+// architecture — a client stub on the lab computer and a server on the
+// middlebox exchanging one message per device command — but implements the
+// transport with the standard library only: length-prefixed JSON frames over
+// a net.Conn. The frame format is
+//
+//	+----------------+-------------------+
+//	| 4-byte big-    | JSON payload      |
+//	| endian length  | (length bytes)    |
+//	+----------------+-------------------+
+//
+// Frames larger than MaxFrameSize are rejected on both ends so that a
+// corrupted or malicious peer cannot force unbounded allocation — the
+// middlebox is the trusted component and must not be crashable from the
+// untrusted lab computer (Fig. 1).
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrameSize bounds a single frame. Device commands and responses are tiny
+// (tens to hundreds of bytes); 1 MiB leaves generous headroom for batched
+// trace uploads without allowing unbounded allocation.
+const MaxFrameSize = 1 << 20
+
+// ErrFrameTooLarge is returned when an incoming frame header announces a
+// payload larger than MaxFrameSize.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// Op identifies the kind of request carried in a frame.
+type Op string
+
+// Request operations understood by the middlebox server.
+const (
+	// OpExec asks the middlebox to execute a device command and return the
+	// response (REMOTE mode: the middlebox owns the device connection).
+	OpExec Op = "exec"
+	// OpTrace uploads a trace record for a command the client executed
+	// locally (DIRECT mode: the middlebox only collects trace data).
+	OpTrace Op = "trace"
+	// OpPing measures round-trip time and checks liveness.
+	OpPing Op = "ping"
+)
+
+// Request is one lab-computer → middlebox message. Exactly one device command
+// per request, mirroring RATracer's per-access interception.
+type Request struct {
+	ID     uint64   `json:"id"`
+	Op     Op       `json:"op"`
+	Device string   `json:"device,omitempty"`
+	Name   string   `json:"name,omitempty"`
+	Args   []string `json:"args,omitempty"`
+
+	// DIRECT-mode trace uploads carry the locally observed outcome.
+	Value      string `json:"value,omitempty"`
+	Error      string `json:"error,omitempty"`
+	StartNanos int64  `json:"startNanos,omitempty"`
+	EndNanos   int64  `json:"endNanos,omitempty"`
+	Procedure  string `json:"procedure,omitempty"`
+	Run        string `json:"run,omitempty"`
+}
+
+// Reply is one middlebox → lab-computer message.
+type Reply struct {
+	ID    uint64 `json:"id"`
+	Value string `json:"value,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// WriteFrame marshals v as JSON and writes it as one length-prefixed frame.
+func WriteFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshal frame: %w", err)
+	}
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: write frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame and unmarshals it into v.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		return fmt.Errorf("wire: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("wire: read frame payload: %w", err)
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("wire: unmarshal frame: %w", err)
+	}
+	return nil
+}

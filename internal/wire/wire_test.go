@@ -1,0 +1,156 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripRequest(t *testing.T) {
+	tests := []struct {
+		name string
+		req  Request
+	}{
+		{"exec", Request{ID: 1, Op: OpExec, Device: "C9", Name: "ARM", Args: []string{"10", "20", "30"}}},
+		{"trace", Request{ID: 42, Op: OpTrace, Device: "UR3e", Name: "move_joints", Value: "ok", StartNanos: 100, EndNanos: 250, Procedure: "P2"}},
+		{"ping", Request{ID: 7, Op: OpPing}},
+		{"error", Request{ID: 9, Op: OpTrace, Device: "Quantos", Name: "start_dosing", Error: "front door crashed"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteFrame(&buf, tt.req); err != nil {
+				t.Fatalf("WriteFrame: %v", err)
+			}
+			var got Request
+			if err := ReadFrame(&buf, &got); err != nil {
+				t.Fatalf("ReadFrame: %v", err)
+			}
+			if got.ID != tt.req.ID || got.Op != tt.req.Op || got.Device != tt.req.Device ||
+				got.Name != tt.req.Name || got.Value != tt.req.Value || got.Error != tt.req.Error {
+				t.Errorf("round trip mismatch: got %+v want %+v", got, tt.req)
+			}
+			if len(got.Args) != len(tt.req.Args) {
+				t.Errorf("args length mismatch: got %d want %d", len(got.Args), len(tt.req.Args))
+			}
+		})
+	}
+}
+
+func TestRoundTripReply(t *testing.T) {
+	var buf bytes.Buffer
+	want := Reply{ID: 3, Value: "MVNG 0 0 0 0", Error: ""}
+	if err := WriteFrame(&buf, want); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	var got Reply
+	if err := ReadFrame(&buf, &got); err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if got != want {
+		t.Errorf("got %+v want %+v", got, want)
+	}
+}
+
+func TestMultipleFramesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	for i := uint64(0); i < 10; i++ {
+		if err := WriteFrame(&buf, Request{ID: i, Op: OpExec, Name: "Q"}); err != nil {
+			t.Fatalf("WriteFrame %d: %v", i, err)
+		}
+	}
+	for i := uint64(0); i < 10; i++ {
+		var got Request
+		if err := ReadFrame(&buf, &got); err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if got.ID != i {
+			t.Errorf("frame %d: got ID %d", i, got.ID)
+		}
+	}
+}
+
+func TestReadFrameEOFOnEmpty(t *testing.T) {
+	var got Request
+	err := ReadFrame(bytes.NewReader(nil), &got)
+	if !errors.Is(err, io.EOF) {
+		t.Errorf("want io.EOF, got %v", err)
+	}
+}
+
+func TestReadFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Request{ID: 1, Op: OpExec}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	var got Request
+	if err := ReadFrame(bytes.NewReader(trunc), &got); err == nil {
+		t.Error("want error on truncated payload, got nil")
+	}
+}
+
+func TestReadFrameOversizedHeaderRejected(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrameSize+1)
+	var got Request
+	err := ReadFrame(bytes.NewReader(hdr[:]), &got)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestWriteFrameOversizedRejected(t *testing.T) {
+	big := Request{ID: 1, Op: OpExec, Value: strings.Repeat("x", MaxFrameSize)}
+	err := WriteFrame(io.Discard, big)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestReadFrameGarbagePayload(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("this is not json")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	var got Request
+	if err := ReadFrame(&buf, &got); err == nil {
+		t.Error("want error on garbage payload, got nil")
+	}
+}
+
+// TestRoundTripProperty checks that any request survives a frame round trip.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(id uint64, device, name, value, errStr string, args []string) bool {
+		in := Request{ID: id, Op: OpExec, Device: device, Name: name, Args: args, Value: value, Error: errStr}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, in); err != nil {
+			// Only oversized frames may fail; those are outside quick's
+			// default value sizes.
+			return false
+		}
+		var out Request
+		if err := ReadFrame(&buf, &out); err != nil {
+			return false
+		}
+		if out.ID != in.ID || out.Device != in.Device || out.Name != in.Name ||
+			out.Value != in.Value || out.Error != in.Error || len(out.Args) != len(in.Args) {
+			return false
+		}
+		for i := range in.Args {
+			if out.Args[i] != in.Args[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,477 @@
+package rad
+
+import (
+	"rad/internal/analysis/jenks"
+	"rad/internal/analysis/metrics"
+	"rad/internal/analysis/ngram"
+	"rad/internal/analysis/specmine"
+	"rad/internal/analysis/stats"
+	"rad/internal/analysis/tfidf"
+	"rad/internal/attack"
+	"rad/internal/device"
+	"rad/internal/experiments"
+	"rad/internal/ids"
+	"rad/internal/middlebox"
+	"rad/internal/power"
+	"rad/internal/procedure"
+	dataset "rad/internal/rad"
+	"rad/internal/simclock"
+	"rad/internal/store"
+	"rad/internal/tracer"
+	"rad/internal/wire"
+)
+
+// --- Devices and commands ---
+
+// Device is the interface implemented by every simulated CPS device and by
+// the virtualized proxies a tracing session hands out.
+type Device = device.Device
+
+// Command is a single device access crossing the data-collection boundary.
+type Command = device.Command
+
+// CommandSpec describes one of the 52 command types in the dataset catalog.
+type CommandSpec = device.CommandSpec
+
+// Device names as they appear in the dataset.
+const (
+	DeviceC9      = device.C9
+	DeviceUR3e    = device.UR3e
+	DeviceIKA     = device.IKA
+	DeviceTecan   = device.Tecan
+	DeviceQuantos = device.Quantos
+)
+
+// CommandCatalog returns the 52-command catalog of Fig. 5(a).
+func CommandCatalog() []CommandSpec { return device.Catalog() }
+
+// --- Clocks ---
+
+// Clock abstracts time so the same code runs in real time (latency
+// experiments) and virtual time (dataset generation).
+type Clock = simclock.Clock
+
+// RealClock is the wall clock.
+type RealClock = simclock.Real
+
+// VirtualClock is a deterministic clock that advances only on Sleep/Advance.
+type VirtualClock = simclock.Virtual
+
+// NewVirtualClock returns a virtual clock starting at the given instant.
+var NewVirtualClock = simclock.NewVirtual
+
+// --- Middlebox and tracing (RATracer) ---
+
+// Middlebox is the trusted middlebox core of Fig. 1: device registry,
+// command execution, and trace logging.
+type Middlebox = middlebox.Core
+
+// MiddleboxServer serves a Middlebox over TCP.
+type MiddleboxServer = middlebox.Server
+
+// NetworkProfile emulates the lab network (LANProfile) or a cloud WAN
+// (CloudProfile) between the lab computer and the middlebox.
+type NetworkProfile = middlebox.NetworkProfile
+
+// NewMiddlebox builds a middlebox logging to sink (which may be nil).
+func NewMiddlebox(clock Clock, sink TraceSink) *Middlebox {
+	return middlebox.NewCore(clock, sink)
+}
+
+// NewMiddleboxServer wraps a middlebox core for TCP serving with an emulated
+// network profile.
+var NewMiddleboxServer = middlebox.NewServer
+
+// LANProfile models the lab's switched Ethernet; CloudProfile models the
+// Azure WAN replay of Fig. 4's footnote.
+var (
+	LANProfile   = middlebox.LANProfile
+	CloudProfile = middlebox.CloudProfile
+)
+
+// TracingSession is the lab-computer side of RATracer: it hands out
+// virtualized devices and owns the middlebox transport.
+type TracingSession = tracer.Session
+
+// TracingConfig configures a session: default mode, per-device overrides
+// (hybrid configurations), and procedure labels.
+type TracingConfig = tracer.Config
+
+// Interception modes (§III).
+const (
+	ModeDirect = tracer.ModeDirect
+	ModeRemote = tracer.ModeRemote
+)
+
+// Transport carries requests from the lab computer to the middlebox; custom
+// implementations (or wrappers such as the attack Interceptor) plug into a
+// session or VirtualLabConfig.WrapTransport.
+type Transport = tracer.Transport
+
+// WireRequest and WireReply are the RPC protocol messages a Transport
+// carries.
+type (
+	WireRequest = wire.Request
+	WireReply   = wire.Reply
+)
+
+// NewTracingSession creates a session over a transport.
+var NewTracingSession = tracer.NewSession
+
+// DialMiddlebox connects to a middlebox server over TCP.
+var DialMiddlebox = tracer.DialTCP
+
+// NewLocalTransport builds an in-process transport to a middlebox core,
+// charging an emulated network profile to the injected clock.
+var NewLocalTransport = tracer.NewLocalTransport
+
+// --- Trace storage ---
+
+// TraceRecord is one trace object in the command dataset.
+type TraceRecord = store.Record
+
+// TraceSink consumes trace records.
+type TraceSink = store.Sink
+
+// TraceStore is the in-memory document store (the MongoDB analog).
+type TraceStore = store.MemStore
+
+// NewTraceStore returns an empty in-memory trace store.
+var NewTraceStore = store.NewMemStore
+
+// NewCSVWriter and NewJSONLWriter stream trace records to files.
+var (
+	NewCSVWriter   = store.NewCSVWriter
+	NewJSONLWriter = store.NewJSONLWriter
+)
+
+// ReadTraceCSV and ReadTraceJSONL parse exported traces back.
+var (
+	ReadTraceCSV   = store.ReadCSV
+	ReadTraceJSONL = store.ReadJSONL
+)
+
+// UnknownProcedure labels all unsupervised commands (§IV).
+const UnknownProcedure = store.UnknownProcedure
+
+// --- The virtual lab and procedures ---
+
+// Lab bundles the virtualized devices, raw simulators, clock, and session a
+// procedure script needs.
+type Lab = procedure.Lab
+
+// VirtualLab is a complete in-process deployment: five simulated devices on
+// a middlebox under a virtual clock with a REMOTE-mode tracing session.
+type VirtualLab = procedure.VirtualLab
+
+// VirtualLabConfig configures NewVirtualLab.
+type VirtualLabConfig = procedure.VirtualLabConfig
+
+// NewVirtualLab assembles a virtual lab.
+var NewVirtualLab = procedure.NewVirtualLab
+
+// ProcedureOptions tune a procedure run (vials, solid, velocity, payload,
+// crash injection, operator quirks).
+type ProcedureOptions = procedure.Options
+
+// ProcedureResult summarizes a run.
+type ProcedureResult = procedure.Result
+
+// CrashPlan schedules a physical crash partway through a run.
+type CrashPlan = procedure.CrashPlan
+
+// Procedure type labels (§IV).
+const (
+	ProcedureP1       = procedure.P1
+	ProcedureP2       = procedure.P2
+	ProcedureP3       = procedure.P3
+	ProcedureJoystick = procedure.Joystick
+	ProcedureP5       = procedure.P5
+	ProcedureP6       = procedure.P6
+)
+
+// The paper's workloads.
+var (
+	RunJoystick          = procedure.RunJoystick
+	RunSolubilityN9      = procedure.RunSolubilityN9
+	RunSolubilityN9UR    = procedure.RunSolubilityN9UR
+	RunCrystalSolubility = procedure.RunCrystalSolubility
+	RunVelocityTest      = procedure.RunVelocityTest
+	RunWeightTest        = procedure.RunWeightTest
+)
+
+// --- The dataset ---
+
+// Dataset is the generated Robotic Arm Dataset.
+type Dataset = dataset.Dataset
+
+// GenerateConfig configures dataset generation (seed and scale).
+type GenerateConfig = dataset.Config
+
+// RunInfo describes one supervised run in Fig. 6 ID order.
+type RunInfo = dataset.RunInfo
+
+// GenerateDataset synthesizes the three-month campaign.
+var GenerateDataset = dataset.Generate
+
+// DatasetFromRecords rebuilds a Dataset view over exported trace records
+// (e.g. read back from radgen's JSONL), re-deriving the run index and
+// anomaly ground truth — the generate-once/analyze-many path.
+var DatasetFromRecords = dataset.FromRecords
+
+// TotalTraceObjects is the command-dataset size the paper reports.
+const TotalTraceObjects = dataset.TotalTraceObjects
+
+// DeviceTargets returns the per-device totals of Fig. 5(a)'s legend.
+var DeviceTargets = dataset.DeviceTargets
+
+// --- Power telemetry ---
+
+// PowerSample is one 122-property power-dataset entry.
+type PowerSample = power.Sample
+
+// PowerMonitor records UR3e telemetry at 25 Hz.
+type PowerMonitor = power.Monitor
+
+// PowerPropertyNames returns the 122 property names of the sample schema.
+var PowerPropertyNames = power.PropertyNames
+
+// CurrentSeries extracts one joint's current series from samples.
+var CurrentSeries = power.CurrentSeries
+
+// --- Analyses (§V) ---
+
+// NGramModel is a Laplace-smoothed n-gram language model with the §V-B
+// perplexity score.
+type NGramModel = ngram.Model
+
+// TrainNGram fits an order-n model with the given smoothing constant.
+var TrainNGram = ngram.Train
+
+// TopNGrams returns the k most frequent n-grams (Fig. 5b).
+var TopNGrams = ngram.TopK
+
+// TFIDFVectorizer computes the §V-A fingerprints.
+type TFIDFVectorizer = tfidf.Vectorizer
+
+// FitTFIDF fits a vectorizer; CosineSimilarity compares two fingerprints;
+// SimilarityMatrix computes all pairwise similarities (Fig. 6).
+var (
+	FitTFIDF         = tfidf.Fit
+	CosineSimilarity = tfidf.Cosine
+	SimilarityMatrix = tfidf.SimilarityMatrix
+)
+
+// JenksSplit2 splits scores into two natural classes (§V-B).
+var JenksSplit2 = jenks.Split2
+
+// Confusion is a binary confusion matrix with the Table I metrics.
+type Confusion = metrics.Confusion
+
+// BoxStats computes Fig. 4-style box-plot statistics; Pearson computes the
+// correlation coefficient used in §VI.
+var (
+	BoxStats = stats.BoxStats
+	Pearson  = stats.Pearson
+)
+
+// --- IDS prototypes ---
+
+// PerplexityDetector classifies command sequences by n-gram perplexity.
+type PerplexityDetector = ids.PerplexityDetector
+
+// TrainPerplexityDetector fits a detector on valid command sequences.
+var TrainPerplexityDetector = ids.TrainPerplexity
+
+// ProcedureClassifier identifies procedure types by TF-IDF fingerprint
+// (RQ1).
+type ProcedureClassifier = ids.ProcedureClassifier
+
+// TrainProcedureClassifier fits the classifier on labelled runs.
+var TrainProcedureClassifier = ids.TrainClassifier
+
+// RuleEngine is the middlebox's first-line rule-based safeguard.
+type RuleEngine = ids.RuleEngine
+
+// NewRuleEngine builds a rule engine with an optional per-device rate limit.
+var NewRuleEngine = ids.NewRuleEngine
+
+// PowerDetector matches joint-current signatures (§VI / RQ3).
+type PowerDetector = ids.PowerDetector
+
+// NewPowerDetector creates an empty power-signature detector.
+var NewPowerDetector = ids.NewPowerDetector
+
+// --- Experiment harnesses (one per paper table/figure) ---
+
+// Experiment result types.
+type (
+	Fig4Result   = experiments.Fig4Result
+	Fig4Config   = experiments.Fig4Config
+	Fig5aResult  = experiments.Fig5aResult
+	NGramTable   = experiments.NGramTable
+	Fig6Result   = experiments.Fig6Result
+	TableIRow    = experiments.TableIRow
+	TableIConfig = experiments.TableIConfig
+	Fig7aResult  = experiments.Fig7aResult
+	Fig7bResult  = experiments.Fig7bResult
+	Fig7cResult  = experiments.Fig7cResult
+	Fig7dResult  = experiments.Fig7dResult
+)
+
+// Experiment harnesses.
+var (
+	Fig4ResponseTime         = experiments.Fig4ResponseTime
+	Fig5aCommandDistribution = experiments.Fig5aCommandDistribution
+	Fig5bTopNGrams           = experiments.Fig5bTopNGrams
+	Fig6SimilarityMatrix     = experiments.Fig6SimilarityMatrix
+	TableIPerplexityIDS      = experiments.TableIPerplexityIDS
+	Fig7aSegments            = experiments.Fig7aSegments
+	Fig7bSolids              = experiments.Fig7bSolids
+	Fig7cVelocities          = experiments.Fig7cVelocities
+	Fig7dWeights             = experiments.Fig7dWeights
+)
+
+// Series is one labelled joint-current time series at 40 ms ticks.
+type Series = experiments.Series
+
+// --- Extensions beyond the paper's tables (its §VII future work) ---
+
+// ArgQuantizer maps numeric command arguments onto training-calibrated
+// buckets; ArgAwareDetector is the argument-aware perplexity IDS ("bring
+// command arguments into the fold").
+type (
+	ArgQuantizer     = ids.ArgQuantizer
+	ArgAwareDetector = ids.ArgAwareDetector
+)
+
+// FitArgQuantizer calibrates a quantizer; TrainArgAwareDetector fits the
+// argument-aware perplexity detector.
+var (
+	FitArgQuantizer       = ids.FitArgQuantizer
+	TrainArgAwareDetector = ids.TrainArgAwarePerplexity
+)
+
+// AutoLabeler recovers procedure labels for unlabelled trace segments
+// ("find ways to automatically generate labels").
+type AutoLabeler = ids.AutoLabeler
+
+// NewAutoLabeler builds a labeler from supervised runs; SegmentSessions
+// splits a trace stream into sessions at idle gaps.
+var (
+	NewAutoLabeler  = ids.NewAutoLabeler
+	SegmentSessions = ids.SegmentSessions
+)
+
+// AttackKind identifies an attack family; AttackConfig parameterizes the
+// man-in-the-middle interceptor; AttackScenario and AttackOutcome describe
+// benchmark runs ("generate many more anomalous traces … for benchmarking
+// other IDS").
+type (
+	AttackKind     = attack.Kind
+	AttackConfig   = attack.Config
+	AttackScenario = attack.Scenario
+	AttackOutcome  = attack.Outcome
+	Interceptor    = attack.Interceptor
+)
+
+// Attack families.
+const (
+	AttackInjection       = attack.Injection
+	AttackReplay          = attack.Replay
+	AttackSpeedTamper     = attack.SpeedTamper
+	AttackParameterTamper = attack.ParameterTamper
+	AttackReorder         = attack.Reorder
+	AttackDrop            = attack.Drop
+)
+
+// NewInterceptor wraps a transport with an attack; RunAttackScenario
+// executes one scenario; StandardAttackSuite returns the benchmark set.
+var (
+	NewInterceptor      = attack.New
+	RunAttackScenario   = attack.Run
+	StandardAttackSuite = attack.StandardSuite
+)
+
+// TransportRouter routes each device's traffic to its own middlebox — the
+// distributed deployment §VII anticipates.
+type TransportRouter = tracer.Router
+
+// NewTransportRouter creates a router with an optional fallback transport.
+var NewTransportRouter = tracer.NewRouter
+
+// AttackBenchRow is one attack-benchmark scenario result.
+type AttackBenchRow = experiments.AttackBenchRow
+
+// AttackBenchmark evaluates the name-only and argument-aware detectors
+// against the standard attack suite.
+var (
+	AttackBenchmark   = experiments.AttackBenchmark
+	RenderAttackBench = experiments.RenderAttackBench
+)
+
+// Ablation studies (smoothing constant, Jenks space, streaming window).
+type (
+	SmoothingRow  = experiments.SmoothingRow
+	JenksSpaceRow = experiments.JenksSpaceRow
+	WindowRow     = experiments.WindowRow
+)
+
+var (
+	AblationSmoothing    = experiments.AblationSmoothing
+	AblationJenksSpace   = experiments.AblationJenksSpace
+	AblationStreamWindow = experiments.AblationStreamWindow
+	RenderAblations      = experiments.RenderAblations
+)
+
+// SpecElement and Spec are mined procedure specifications: repeated blocks
+// with iteration bounds (§V's specification-mining use case). Mining,
+// merging across runs, and the corpus-level block summary:
+type (
+	SpecElement = specmine.Element
+	Spec        = specmine.Spec
+	SpecOptions = specmine.Options
+)
+
+var (
+	MineSpec      = specmine.Mine
+	MergeSpecs    = specmine.Merge
+	SpecCoverage  = specmine.Coverage
+	TopSpecBlocks = specmine.TopBlocks
+)
+
+// RQ1Row and RQ1Result are the leave-one-out procedure-identification
+// experiment (§V-A's RQ1).
+type (
+	RQ1Row    = experiments.RQ1Row
+	RQ1Result = experiments.RQ1Result
+)
+
+// RQ1Classification runs leave-one-out TF-IDF identification over the 25
+// supervised runs.
+var (
+	RQ1Classification = experiments.RQ1Classification
+	RenderRQ1         = experiments.RenderRQ1
+)
+
+// PowerIDSRow is one probe of the quantitative RQ3 benchmark.
+type PowerIDSRow = experiments.PowerIDSRow
+
+// PowerIDSBenchmark enrols known motions' current signatures and probes the
+// power detector with repeats, velocity changes, hidden payloads, and
+// unknown trajectories.
+var (
+	PowerIDSBenchmark = experiments.PowerIDSBenchmark
+	RenderPowerIDS    = experiments.RenderPowerIDS
+)
+
+// Renderers format experiment results in the paper's table/figure shapes.
+var (
+	RenderFig4              = experiments.RenderFig4
+	RenderFig5a             = experiments.RenderFig5a
+	RenderFig5b             = experiments.RenderFig5b
+	RenderFig6              = experiments.RenderFig6
+	RenderTableI            = experiments.RenderTableI
+	RenderSeries            = experiments.RenderSeries
+	RenderCorrelationMatrix = experiments.RenderCorrelationMatrix
+)
