@@ -12,6 +12,7 @@ package rad_test
 
 import (
 	"bytes"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -149,6 +150,46 @@ func BenchmarkDatasetGeneration(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(ds.Store.Len()), "commands/op")
+	}
+}
+
+// BenchmarkGenerateParallel measures sharded campaign synthesis across
+// worker counts. The canonical merge ordering makes every variant produce
+// identical bytes, so the sub-benchmarks differ only in wall clock:
+//
+//	go test -bench=BenchmarkGenerateParallel -benchmem
+func BenchmarkGenerateParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ds, err := rad.GenerateDataset(rad.GenerateConfig{
+					Seed: 11, Scale: 0.05, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(ds.Store.Len()), "commands/op")
+			}
+		})
+	}
+}
+
+// BenchmarkNGramCountParallel measures the Fig. 5(b) counting kernel across
+// worker counts on the shared benchmark corpus.
+func BenchmarkNGramCountParallel(b *testing.B) {
+	ds := benchDataset(b)
+	seq := ds.AllSequence()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				top := rad.TopNGramsParallel([][]string{seq}, 3, 10, workers)
+				if len(top) != 10 {
+					b.Fatal("bad top-k")
+				}
+			}
+		})
 	}
 }
 

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	radgen [-seed N] [-scale F] [-out DIR] [-format csv|jsonl|both]
+//	radgen [-seed N] [-scale F] [-workers N] [-out DIR] [-format csv|jsonl|both]
+//
+// Generation is sharded across -workers goroutines; the output is
+// byte-identical for every worker count (see internal/rad's canonical
+// ordering).
 package main
 
 import (
@@ -28,6 +32,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("radgen", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 11, "campaign seed")
 	scale := fs.Float64("scale", 1.0, "unsupervised-bulk scale (1.0 = full 128,785 objects)")
+	workers := fs.Int("workers", 0, "generation worker goroutines (0 = GOMAXPROCS)")
 	out := fs.String("out", "rad-dataset", "output directory")
 	format := fs.String("format", "both", "command-dataset format: csv, jsonl, or both")
 	if err := fs.Parse(args); err != nil {
@@ -37,8 +42,8 @@ func run(args []string) error {
 		return fmt.Errorf("unknown format %q", *format)
 	}
 
-	fmt.Printf("generating RAD (seed=%d scale=%.2f)...\n", *seed, *scale)
-	ds, err := rad.GenerateDataset(rad.GenerateConfig{Seed: *seed, Scale: *scale})
+	fmt.Printf("generating RAD (seed=%d scale=%.2f workers=%d)...\n", *seed, *scale, *workers)
+	ds, err := rad.GenerateDataset(rad.GenerateConfig{Seed: *seed, Scale: *scale, Workers: *workers})
 	if err != nil {
 		return fmt.Errorf("generate: %w", err)
 	}

@@ -123,7 +123,7 @@ func run(args []string, stop <-chan struct{}) error {
 			return err
 		}
 	}
-	stats := core.Stats()
+	stats := core.Snapshot()
 	fmt.Printf("\nshut down: %d execs, %d trace uploads, %d pings, %d errors; %d records logged\n",
 		stats.Execs, stats.Traces, stats.Pings, stats.Errors, mem.Len())
 	if monitor != nil {

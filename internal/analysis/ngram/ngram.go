@@ -8,6 +8,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"rad/internal/parallel"
 )
 
 // Count is one n-gram with its number of occurrences.
@@ -20,17 +22,25 @@ type Count struct {
 func (c Count) Key() string { return strings.Join(c.Gram, "_") }
 
 // TopK returns the k most frequent n-grams of size n across the sequences,
-// most frequent first; ties break lexicographically for determinism.
+// most frequent first; ties break lexicographically for determinism. Large
+// corpora are counted concurrently on GOMAXPROCS workers; the result is
+// identical to a serial count.
 func TopK(seqs [][]string, n, k int) []Count {
+	return TopKParallel(seqs, n, k, 0)
+}
+
+// parallelGramFloor is the corpus size (in scorable n-gram positions) below
+// which counting stays serial: splitting tiny corpora costs more than it
+// saves.
+const parallelGramFloor = 1 << 14
+
+// TopKParallel is TopK with an explicit worker bound (<= 0 selects
+// GOMAXPROCS). Every worker count produces identical output.
+func TopKParallel(seqs [][]string, n, k, workers int) []Count {
 	if n <= 0 || k <= 0 {
 		return nil
 	}
-	counts := make(map[string]int)
-	for _, seq := range seqs {
-		for i := 0; i+n <= len(seq); i++ {
-			counts[strings.Join(seq[i:i+n], "\x00")]++
-		}
-	}
+	counts := CountGrams(seqs, n, workers)
 	if len(counts) == 0 {
 		return nil
 	}
@@ -48,6 +58,82 @@ func TopK(seqs [][]string, n, k int) []Count {
 		all = all[:k]
 	}
 	return all
+}
+
+// gramChunk is one worker-sized slice of one sequence. Chunks overlap by
+// n-1 tokens so that no n-gram spanning a cut is lost and none is counted
+// twice: chunk [lo, hi) owns exactly the grams starting in [lo, hi-n+1).
+type gramChunk struct {
+	seq      []string
+	overlaps bool // not the final chunk of its sequence
+}
+
+// splitGramChunks cuts the corpus into roughly equal-work chunks for
+// counting. A sequence shorter than the chunk size stays whole.
+func splitGramChunks(seqs [][]string, n, chunkSize int) []gramChunk {
+	var chunks []gramChunk
+	for _, seq := range seqs {
+		for lo := 0; lo < len(seq); lo += chunkSize {
+			hi := lo + chunkSize + n - 1
+			if hi >= len(seq) {
+				chunks = append(chunks, gramChunk{seq: seq[lo:]})
+				break
+			}
+			chunks = append(chunks, gramChunk{seq: seq[lo:hi], overlaps: true})
+		}
+	}
+	return chunks
+}
+
+// countInto tallies the chunk's n-grams into counts. Overlapping chunks own
+// only the grams that start before their overlap region.
+func (c gramChunk) countInto(n int, counts map[string]int) {
+	limit := len(c.seq)
+	if c.overlaps {
+		limit -= n - 1
+	}
+	for i := 0; i+n <= len(c.seq) && i < limit; i++ {
+		counts[strings.Join(c.seq[i:i+n], "\x00")]++
+	}
+}
+
+// CountGrams counts every n-gram across the sequences, fanning the corpus
+// out over at most workers goroutines (<= 0 selects GOMAXPROCS) with
+// per-worker local maps that are summed at the end. Summation is
+// commutative, so the returned map is identical for every worker count.
+func CountGrams(seqs [][]string, n, workers int) map[string]int {
+	if n <= 0 {
+		return map[string]int{}
+	}
+	total := 0
+	for _, seq := range seqs {
+		if len(seq) >= n {
+			total += len(seq) - n + 1
+		}
+	}
+	workers = parallel.Workers(workers)
+	if workers == 1 || total < parallelGramFloor {
+		counts := make(map[string]int)
+		for _, seq := range seqs {
+			gramChunk{seq: seq}.countInto(n, counts)
+		}
+		return counts
+	}
+	// Aim for a few chunks per worker so a skewed chunk cannot straggle.
+	chunkSize := total/(workers*4) + 1
+	chunks := splitGramChunks(seqs, n, chunkSize)
+	locals, _ := parallel.Map(chunks, workers, func(_ int, c gramChunk) (map[string]int, error) {
+		local := make(map[string]int)
+		c.countInto(n, local)
+		return local, nil
+	})
+	merged := make(map[string]int)
+	for _, local := range locals {
+		for key, times := range local {
+			merged[key] += times
+		}
+	}
+	return merged
 }
 
 // Model is an n-gram language model with Laplace (add-alpha) smoothing over

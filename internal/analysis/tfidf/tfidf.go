@@ -6,6 +6,8 @@ package tfidf
 import (
 	"math"
 	"sort"
+
+	"rad/internal/parallel"
 )
 
 // Vectorizer holds the IDF weights fitted on a corpus of runs.
@@ -85,21 +87,32 @@ func Cosine(a, b map[string]float64) float64 {
 
 // SimilarityMatrix fits a vectorizer on the runs and returns all pairwise
 // cosine similarities — Fig. 6's 25×25 matrix for RAD's supervised runs.
+// Rows are computed on GOMAXPROCS workers; the result is identical to a
+// serial computation.
 func SimilarityMatrix(docs [][]string) [][]float64 {
+	return SimilarityMatrixParallel(docs, 0)
+}
+
+// SimilarityMatrixParallel is SimilarityMatrix with an explicit worker bound
+// (<= 0 selects GOMAXPROCS). Workers fill the upper triangle — each row i
+// owns the cells j >= i, so no two workers touch the same cell — and a
+// serial pass mirrors it onto the lower triangle afterwards.
+func SimilarityMatrixParallel(docs [][]string, workers int) [][]float64 {
 	v := Fit(docs)
-	vecs := make([]map[string]float64, len(docs))
-	for i, doc := range docs {
-		vecs[i] = v.Transform(doc)
-	}
+	vecs, _ := parallel.Map(docs, workers, func(_ int, doc []string) (map[string]float64, error) {
+		return v.Transform(doc), nil
+	})
 	m := make([][]float64, len(docs))
-	for i := range m {
+	_ = parallel.ForEach(len(docs), workers, func(i int) error {
 		m[i] = make([]float64, len(docs))
-		for j := range m[i] {
-			if j < i {
-				m[i][j] = m[j][i]
-				continue
-			}
+		for j := i; j < len(docs); j++ {
 			m[i][j] = Cosine(vecs[i], vecs[j])
+		}
+		return nil
+	})
+	for i := range m {
+		for j := 0; j < i; j++ {
+			m[i][j] = m[j][i]
 		}
 	}
 	return m

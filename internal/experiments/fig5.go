@@ -3,6 +3,7 @@ package experiments
 import (
 	"rad/internal/analysis/ngram"
 	"rad/internal/device"
+	"rad/internal/parallel"
 	"rad/internal/rad"
 )
 
@@ -52,9 +53,11 @@ func Fig5bTopNGrams(ds *rad.Dataset, ns []int, k int) []NGramTable {
 	// is split per run/session via the unknown-procedure stream order. The
 	// global stream in collection order is the closest analog of "in RAD".
 	seq := ds.AllSequence()
-	out := make([]NGramTable, 0, len(ns))
-	for _, n := range ns {
-		out = append(out, NGramTable{N: n, Top: ngram.TopK([][]string{seq}, n, k)})
-	}
+	// The four tables are independent scans of the same sequence; fan them
+	// out (each TopK additionally parallelizes its own counting on large
+	// corpora).
+	out, _ := parallel.Map(ns, 0, func(_ int, n int) (NGramTable, error) {
+		return NGramTable{N: n, Top: ngram.TopK([][]string{seq}, n, k)}, nil
+	})
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"rad/internal/ids"
+	"rad/internal/parallel"
 	"rad/internal/rad"
 )
 
@@ -30,13 +31,15 @@ type RQ1Result struct {
 	Total   int
 }
 
-// RQ1Classification runs the leave-one-out protocol.
+// RQ1Classification runs the leave-one-out protocol. The 25 hold-out
+// iterations are independent (each trains its own classifier on the other
+// 24 runs), so they fan out across GOMAXPROCS workers; rows come back in
+// run-ID order regardless of worker count.
 func RQ1Classification(ds *rad.Dataset) (RQ1Result, error) {
 	seqs, _ := ds.SupervisedSequences()
-	var res RQ1Result
-	for i := range seqs {
-		var trainSeqs [][]string
-		var trainLabels []string
+	rows, err := parallel.Map(seqs, 0, func(i int, seq []string) (RQ1Row, error) {
+		trainSeqs := make([][]string, 0, len(seqs)-1)
+		trainLabels := make([]string, 0, len(seqs)-1)
 		for j := range seqs {
 			if j == i {
 				continue
@@ -46,19 +49,23 @@ func RQ1Classification(ds *rad.Dataset) (RQ1Result, error) {
 		}
 		clf, err := ids.TrainClassifier(trainSeqs, trainLabels)
 		if err != nil {
-			return RQ1Result{}, err
+			return RQ1Row{}, err
 		}
-		got, sim := clf.Classify(seqs[i])
-		row := RQ1Row{
+		got, sim := clf.Classify(seq)
+		return RQ1Row{
 			ID: i, Truth: ds.Runs[i].Procedure, Predicted: got,
 			Similarity: sim, Correct: got == ds.Runs[i].Procedure,
 			Note: ds.Runs[i].Note,
-		}
+		}, nil
+	})
+	if err != nil {
+		return RQ1Result{}, err
+	}
+	res := RQ1Result{Rows: rows, Total: len(rows)}
+	for _, row := range rows {
 		if row.Correct {
 			res.Correct++
 		}
-		res.Rows = append(res.Rows, row)
-		res.Total++
 	}
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 	"rad/internal/analysis/jenks"
 	"rad/internal/analysis/metrics"
 	"rad/internal/analysis/ngram"
+	"rad/internal/parallel"
 	"rad/internal/rad"
 )
 
@@ -71,22 +72,34 @@ func TableIPerplexityIDS(ds *rad.Dataset, cfg TableIConfig) []TableIRow {
 	seqs, truth := ds.SupervisedSequences()
 	folds := crossval.KFold(len(seqs), cfg.Folds, cfg.Seed)
 
+	// Every (order, fold) pair trains its own model and writes only its own
+	// fold's score cells, so the full orders×folds grid fans out as one flat
+	// task list: no two tasks touch the same cell, and the scores each order
+	// hands to Jenks are identical at any worker count.
+	allScores := make([][]float64, len(cfg.Orders))
+	for oi := range allScores {
+		allScores[oi] = make([]float64, len(seqs))
+		for i := range allScores[oi] {
+			allScores[oi][i] = math.NaN()
+		}
+	}
+	_ = parallel.ForEach(len(cfg.Orders)*len(folds), 0, func(task int) error {
+		oi, fi := task/len(folds), task%len(folds)
+		n, fold := cfg.Orders[oi], folds[fi]
+		train := make([][]string, 0, len(fold.Train))
+		for _, idx := range fold.Train {
+			train = append(train, seqs[idx])
+		}
+		model := ngram.Train(train, n, cfg.Alpha)
+		for _, idx := range fold.Test {
+			allScores[oi][idx] = model.Perplexity(seqs[idx])
+		}
+		return nil
+	})
+
 	rows := make([]TableIRow, 0, len(cfg.Orders))
-	for _, n := range cfg.Orders {
-		scores := make([]float64, len(seqs))
-		for i := range scores {
-			scores[i] = math.NaN()
-		}
-		for _, fold := range folds {
-			train := make([][]string, 0, len(fold.Train))
-			for _, idx := range fold.Train {
-				train = append(train, seqs[idx])
-			}
-			model := ngram.Train(train, n, cfg.Alpha)
-			for _, idx := range fold.Test {
-				scores[idx] = model.Perplexity(seqs[idx])
-			}
-		}
+	for oi, n := range cfg.Orders {
+		scores := allScores[oi]
 		// Cluster in log space by default: perplexity is the exponential of
 		// the average negative log-likelihood, so log-perplexity is the
 		// natural scale for variance-based clustering — a single extreme run

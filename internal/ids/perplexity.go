@@ -12,6 +12,7 @@ import (
 
 	"rad/internal/analysis/jenks"
 	"rad/internal/analysis/ngram"
+	"rad/internal/parallel"
 )
 
 // PerplexityDetector classifies command sequences as benign or anomalous by
@@ -39,9 +40,15 @@ func TrainPerplexity(train [][]string, n int) (*PerplexityDetector, error) {
 		return nil, ErrNoTrainingData
 	}
 	model := ngram.Train(train, n, 1)
+	// Scoring each training sequence is independent; fan out and take the
+	// max over the per-sequence scores (a commutative reduction, so the
+	// threshold is identical at any worker count).
+	ppls, _ := parallel.Map(train, 0, func(_ int, seq []string) (float64, error) {
+		return model.Perplexity(seq), nil
+	})
 	maxPPL := 0.0
-	for _, seq := range train {
-		if p := model.Perplexity(seq); !math.IsInf(p, 1) && p > maxPPL {
+	for _, p := range ppls {
+		if !math.IsInf(p, 1) && p > maxPPL {
 			maxPPL = p
 		}
 	}
@@ -72,10 +79,11 @@ func (d *PerplexityDetector) Anomalous(seq []string) bool {
 // benign/anomalous with Jenks natural breaks, the paper's batch protocol
 // (§V-B). It returns the per-sequence anomaly flags and the break value.
 func (d *PerplexityDetector) ClassifyJenks(seqs [][]string) ([]bool, float64) {
-	scores := make([]float64, len(seqs))
-	for i, seq := range seqs {
-		scores[i] = d.Score(seq)
-	}
+	// Scores are independent per sequence; the Jenks split itself stays
+	// serial (it sorts the full score vector).
+	scores, _ := parallel.Map(seqs, 0, func(_ int, seq []string) (float64, error) {
+		return d.Score(seq), nil
+	})
 	upper, breakVal, ok := jenks.Split2(scores)
 	if !ok {
 		// No separable structure: fall back to the trained threshold.
@@ -111,18 +119,28 @@ func (d *PerplexityDetector) NewStream(window int) *Stream {
 		window = d.model.Order() * 4
 	}
 	s := &Stream{d: d, size: window, threshold: d.threshold}
-	maxWindow := 0.0
-	for _, seq := range d.train {
+	// Calibration slides the window over every training sequence — the most
+	// expensive step of stream construction. Each sequence's maximum is
+	// independent; compute them concurrently and reduce serially.
+	maxima, _ := parallel.Map(d.train, 0, func(_ int, seq []string) (float64, error) {
+		local := 0.0
 		if len(seq) <= window {
-			if p := d.model.Perplexity(seq); !math.IsInf(p, 1) && p > maxWindow {
-				maxWindow = p
+			if p := d.model.Perplexity(seq); !math.IsInf(p, 1) {
+				local = p
 			}
-			continue
+			return local, nil
 		}
 		for i := 0; i+window <= len(seq); i++ {
-			if p := d.model.Perplexity(seq[i : i+window]); p > maxWindow {
-				maxWindow = p
+			if p := d.model.Perplexity(seq[i : i+window]); p > local {
+				local = p
 			}
+		}
+		return local, nil
+	})
+	maxWindow := 0.0
+	for _, p := range maxima {
+		if p > maxWindow {
+			maxWindow = p
 		}
 	}
 	if maxWindow > 0 {

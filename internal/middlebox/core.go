@@ -14,6 +14,7 @@ package middlebox
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rad/internal/device"
@@ -26,12 +27,19 @@ import (
 // connections (REMOTE mode) and the trace log. Safe for concurrent use.
 type Core struct {
 	clock simclock.Clock
+	// sink is immutable after NewCore; the logging hot path reads it
+	// without taking any lock.
+	sink store.Sink
 
 	mu      sync.RWMutex
 	devices map[string]device.Device
-	sink    store.Sink
 
-	stats Stats
+	// Request counters are atomics so that concurrent device sessions never
+	// serialize on the registry lock just to bump a statistic.
+	execs  atomic.Uint64
+	traces atomic.Uint64
+	pings  atomic.Uint64
+	errors atomic.Uint64
 }
 
 // Stats counts the requests a middlebox has served.
@@ -64,12 +72,22 @@ func (c *Core) Device(name string) (device.Device, bool) {
 	return d, ok
 }
 
-// Stats returns a snapshot of the request counters.
-func (c *Core) Stats() Stats {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.stats
+// Snapshot returns a consistent point-in-time copy of the request counters
+// without touching the device-registry lock. Each counter is itself exact;
+// a request that completes concurrently with Snapshot may or may not be
+// included, but no counter ever goes backwards between snapshots.
+func (c *Core) Snapshot() Stats {
+	return Stats{
+		Execs:  c.execs.Load(),
+		Traces: c.traces.Load(),
+		Pings:  c.pings.Load(),
+		Errors: c.errors.Load(),
+	}
 }
+
+// Stats returns a snapshot of the request counters. It is Snapshot under
+// the historical name.
+func (c *Core) Stats() Stats { return c.Snapshot() }
 
 // Handle processes one request and produces its reply. It implements the
 // middlebox protocol:
@@ -81,14 +99,14 @@ func (c *Core) Stats() Stats {
 func (c *Core) Handle(req wire.Request) wire.Reply {
 	switch req.Op {
 	case wire.OpPing:
-		c.count(func(s *Stats) { s.Pings++ })
+		c.pings.Add(1)
 		return wire.Reply{ID: req.ID, Value: "pong"}
 	case wire.OpExec:
 		return c.handleExec(req)
 	case wire.OpTrace:
 		return c.handleTrace(req)
 	default:
-		c.count(func(s *Stats) { s.Errors++ })
+		c.errors.Add(1)
 		return wire.Reply{ID: req.ID, Error: fmt.Sprintf("middlebox: unknown op %q", req.Op)}
 	}
 }
@@ -96,7 +114,7 @@ func (c *Core) Handle(req wire.Request) wire.Reply {
 func (c *Core) handleExec(req wire.Request) wire.Reply {
 	d, ok := c.Device(req.Device)
 	if !ok {
-		c.count(func(s *Stats) { s.Errors++ })
+		c.errors.Add(1)
 		return wire.Reply{ID: req.ID, Error: fmt.Sprintf("middlebox: device %q not registered", req.Device)}
 	}
 	start := c.clock.Now()
@@ -112,12 +130,11 @@ func (c *Core) handleExec(req wire.Request) wire.Reply {
 		Mode:      "REMOTE",
 	}
 	reply := wire.Reply{ID: req.ID, Value: value}
+	c.execs.Add(1)
 	if err != nil {
 		rec.Exception = err.Error()
 		reply.Error = err.Error()
-		c.count(func(s *Stats) { s.Execs++; s.Errors++ })
-	} else {
-		c.count(func(s *Stats) { s.Execs++ })
+		c.errors.Add(1)
 	}
 	c.log(rec)
 	return reply
@@ -133,27 +150,18 @@ func (c *Core) handleTrace(req wire.Request) wire.Reply {
 		Run:       req.Run,
 		Mode:      "DIRECT",
 	}
-	c.count(func(s *Stats) { s.Traces++ })
+	c.traces.Add(1)
 	c.log(rec)
 	return wire.Reply{ID: req.ID, Value: "ok"}
 }
 
 func (c *Core) log(rec store.Record) {
-	c.mu.RLock()
-	sink := c.sink
-	c.mu.RUnlock()
-	if sink == nil {
+	if c.sink == nil {
 		return
 	}
 	// Trace logging must never fail the command path; the middlebox drops
 	// the record if the sink errors (a full disk must not stop the lab).
-	_ = sink.Append(rec)
-}
-
-func (c *Core) count(f func(*Stats)) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	f(&c.stats)
+	_ = c.sink.Append(rec)
 }
 
 // procedureLabel applies the paper's labelling rule: commands from

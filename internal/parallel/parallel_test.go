@@ -1,0 +1,105 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 100
+			var hits [n]atomic.Int32
+			if err := ForEach(n, workers, func(i int) error {
+				hits[i].Add(1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("index %d ran %d times", i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachLowestIndexErrorWins(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	for _, workers := range []int{1, 8} {
+		err := ForEach(50, workers, func(i int) error {
+			switch i {
+			case 30:
+				return errB
+			case 7:
+				return errA
+			}
+			return nil
+		})
+		if err != errA {
+			t.Fatalf("workers=%d: got %v, want errA", workers, err)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	in := make([]int, 257)
+	for i := range in {
+		in[i] = i
+	}
+	for _, workers := range []int{1, 5} {
+		out, err := Map(in, workers, func(i, v int) (int, error) { return v * v, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMergeDeterministicTieBreak(t *testing.T) {
+	// Two shards with equal keys: shard 0 must win every tie.
+	type kv struct{ key, shard int }
+	shards := [][]kv{
+		{{1, 0}, {3, 0}, {3, 0}},
+		{{1, 1}, {2, 1}, {3, 1}},
+	}
+	got := Merge(shards, func(a, b kv) bool { return a.key < b.key })
+	want := []kv{{1, 0}, {1, 1}, {2, 1}, {3, 0}, {3, 0}, {3, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMergeEmptyShards(t *testing.T) {
+	got := Merge([][]int{nil, {}, {5}, nil}, func(a, b int) bool { return a < b })
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Error("explicit count not preserved")
+	}
+	if Workers(0) < 1 || Workers(-2) < 1 {
+		t.Error("defaulted count must be positive")
+	}
+}

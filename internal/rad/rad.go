@@ -4,6 +4,26 @@
 // which end in physical crashes), the unsupervised prototyping bulk, and the
 // power captures for the supervised P2 runs — landing exactly on the
 // per-device trace-object totals the paper reports for Fig. 5(a).
+//
+// # Sharded generation and the canonical ordering
+//
+// The campaign is generated as independent shards, fanned out over a bounded
+// worker pool (internal/parallel) and merged deterministically:
+//
+//  1. every supervised run is one shard (shards 0–24, in Fig. 6 ID order);
+//  2. every structured unsupervised session (joystick, P1, P2, P3) is one
+//     shard, in planning order;
+//  3. each device's top-up fill stream is one shard, in device legend order.
+//
+// Each shard executes on its own virtual lab with a private, seed-derived
+// rand/v2 stream and its own virtual clock, started at an instant assigned
+// by a serial planning pass — so a shard's trace content is a pure function
+// of (Config.Seed, shard ordinal) and never of scheduling. The merged
+// dataset is ordered canonically: records sort by virtual timestamp, with
+// ties broken by shard ordinal and then by position within the shard, and
+// sequence numbers are assigned after the merge. The result is byte-identical
+// for every Workers value and every GOMAXPROCS setting (asserted by the
+// golden-hash regression test in rad_test.go).
 package rad
 
 import (
@@ -13,6 +33,7 @@ import (
 	"time"
 
 	"rad/internal/device"
+	"rad/internal/parallel"
 	"rad/internal/power"
 	"rad/internal/procedure"
 	"rad/internal/store"
@@ -56,11 +77,14 @@ type Config struct {
 	// fast tests: 1.0 (or 0) generates the full 128,785-object dataset. The
 	// 25 supervised runs are generated at every scale.
 	Scale float64
+	// Workers bounds how many shards generate concurrently; <= 0 selects
+	// GOMAXPROCS. The output is byte-identical for every value.
+	Workers int
 }
 
 // Dataset is the generated RAD.
 type Dataset struct {
-	// Store holds the command dataset.
+	// Store holds the command dataset in the canonical merged order.
 	Store *store.MemStore
 	// Runs are the 25 supervised runs in Fig. 6 ID order.
 	Runs []RunInfo
@@ -71,32 +95,89 @@ type Dataset struct {
 	Targets map[string]int
 }
 
+// shardSeed derives an independent, well-mixed PRNG seed for shard ord from
+// the campaign seed (splitmix64 over a Weyl sequence, the standard recipe
+// for splitting one seed into independent streams).
+func shardSeed(seed, ord uint64) uint64 {
+	z := seed + (ord+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// recordBefore is the canonical merge order's strict less: virtual
+// timestamp only. Ties are resolved by parallel.Merge's shard-ordinal rule.
+func recordBefore(a, b store.Record) bool { return a.Time.Before(b.Time) }
+
 // Generate produces the synthetic RAD.
 func Generate(cfg Config) (*Dataset, error) {
 	if cfg.Scale <= 0 {
 		cfg.Scale = 1
 	}
-	start := time.Date(2021, 9, 1, 9, 0, 0, 0, time.UTC)
-	vl, err := procedure.NewVirtualLab(procedure.VirtualLabConfig{
-		Start: start, Seed: cfg.Seed, WithPower: true,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("rad: build lab: %w", err)
-	}
-	defer vl.Close()
+	workers := parallel.Workers(cfg.Workers)
+	p := newPlan(cfg)
 
-	g := &generator{cfg: cfg, vl: vl, start: start,
-		rng: rand.New(rand.NewPCG(cfg.Seed^0xabcd, cfg.Seed+0x1234))}
 	ds := &Dataset{
-		Store:      vl.Sink,
 		PowerByRun: make(map[string][]power.Sample),
 		Targets:    scaledTargets(cfg.Scale),
 	}
-	if err := g.supervised(ds); err != nil {
+
+	// Stage 1+2: the supervised runs and the structured unsupervised
+	// sessions are all independent shards; fan them out together.
+	nSup, nStruct := len(p.supervised), len(p.structured)
+	shards := make([][]store.Record, nSup+nStruct, nSup+nStruct+len(p.fills))
+	supRes := make([]supResult, nSup)
+	err := parallel.ForEach(nSup+nStruct, workers, func(i int) error {
+		if i < nSup {
+			res, err := p.runSupervised(p.supervised[i])
+			if err != nil {
+				return err
+			}
+			supRes[i] = res
+			shards[i] = res.records
+			return nil
+		}
+		recs, err := p.runStructured(p.structured[i-nSup])
+		if err != nil {
+			return err
+		}
+		shards[i] = recs
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := g.unsupervised(ds); err != nil {
+	for _, res := range supRes {
+		ds.Runs = append(ds.Runs, res.info)
+		if res.power != nil {
+			ds.PowerByRun[res.info.Run] = res.power
+		}
+	}
+
+	// Stage 3: top-up fill — land exactly on the per-device targets. The
+	// deficit each device shard must cover is fixed by the shards above; at
+	// small scales structured activity may already exceed a target and the
+	// deficit clamps to zero (totals are exact at scale 1, asserted in
+	// tests).
+	counts := make(map[string]int)
+	for _, shard := range shards {
+		for _, r := range shard {
+			counts[r.Device]++
+		}
+	}
+	fillShards, err := parallel.Map(p.fills, workers, func(_ int, f fillSpec) ([]store.Record, error) {
+		return p.runFill(f, ds.Targets[f.dev]-counts[f.dev])
+	})
+	if err != nil {
 		return nil, err
+	}
+	shards = append(shards, fillShards...)
+
+	// Fan-in: canonical ordered merge, then one batched append assigning
+	// the final sequence numbers.
+	ds.Store = store.NewMemStore()
+	if err := ds.Store.AppendBatch(parallel.Merge(shards, recordBefore)); err != nil {
+		return nil, fmt.Errorf("rad: merge shards: %w", err)
 	}
 	return ds, nil
 }
@@ -109,28 +190,185 @@ func scaledTargets(scale float64) map[string]int {
 	return out
 }
 
-type generator struct {
-	cfg   Config
-	vl    *procedure.VirtualLab
-	start time.Time
-	rng   *rand.Rand
+// --- planning ---
+
+// supSpec is one supervised run shard, fully planned.
+type supSpec struct {
+	id      int
+	kind    string
+	opts    procedure.Options
+	note    string
+	labSeed uint64
+	start   time.Time
+	// fractions of the dry-run command count at which to crash or stop
+	// (0 = none).
+	crashAt  float64
+	crashDev string
+	crashWhy string
+	stopAt   float64
 }
 
-// nextDay moves the campaign clock to the morning of a later day, spreading
-// sessions across the three-month window.
-func (g *generator) nextDay(days int) {
-	now := g.vl.Clock.Now()
-	target := now.Truncate(24 * time.Hour).Add(time.Duration(days)*24*time.Hour +
-		time.Duration(8+g.rng.IntN(9))*time.Hour)
-	g.vl.Clock.Set(target)
+// structSpec is one structured unsupervised session shard.
+type structSpec struct {
+	kind    string
+	solid   string
+	vials   int
+	labSeed uint64
+	start   time.Time
+}
+
+// fillSpec is one device's top-up stream shard.
+type fillSpec struct {
+	dev     string
+	labSeed uint64
+	start   time.Time
+}
+
+// plan is the serial planning pass: it walks the campaign calendar with the
+// campaign RNG and assigns every shard its start instant, lab seed, and
+// parameters. Planning consumes randomness in one fixed order, so the shard
+// specs — and therefore the dataset — do not depend on how the shards are
+// later scheduled.
+type plan struct {
+	cfg        Config
+	supervised []supSpec
+	structured []structSpec
+	fills      []fillSpec
+}
+
+// schedule walks the campaign calendar the way the collection campaign
+// spread sessions over its three-month window.
+type schedule struct {
+	rng *rand.Rand
+	now time.Time
+}
+
+// nextDay moves the schedule to the morning of a later day. Matching the
+// virtual clock's Set, time never moves backwards.
+func (s *schedule) nextDay(days int) time.Time {
+	target := s.now.Truncate(24 * time.Hour).Add(time.Duration(days)*24*time.Hour +
+		time.Duration(8+s.rng.IntN(9))*time.Hour)
+	if target.After(s.now) {
+		s.now = target
+	}
+	return s.now
+}
+
+func newPlan(cfg Config) *plan {
+	start := time.Date(2021, 9, 1, 9, 0, 0, 0, time.UTC)
+	sched := &schedule{
+		rng: rand.New(rand.NewPCG(cfg.Seed^0xabcd, cfg.Seed+0x1234)),
+		now: start,
+	}
+	p := &plan{cfg: cfg}
+	ord := uint64(0)
+	nextSeed := func() uint64 { ord++; return shardSeed(cfg.Seed, ord) }
+
+	// --- supervised runs (Fig. 6 ID order) ---
+	runSeed := func(id int) uint64 { return cfg.Seed*1000 + uint64(id) + 1 }
+
+	// Benign runs are not sterile: several contain operator quirks (manual
+	// detours between phases) — the realistic irregularities behind the
+	// perplexity IDS's false positives (Table I).
+	quirks := map[int]int{2: 6, 5: 3, 9: 2, 13: 4, 19: 4, 23: 3}
+
+	specs := make([]supSpec, 0, NumSupervisedRuns)
+	// IDs 0–11: joystick sessions of varying length.
+	for id := 0; id < 12; id++ {
+		specs = append(specs, supSpec{kind: procedure.Joystick,
+			opts: procedure.Options{Seed: runSeed(id)},
+			note: "joystick session"})
+	}
+	// IDs 12–16: Automated Solubility with N9.
+	specs = append(specs,
+		supSpec{kind: procedure.P1, note: "used joystick to position N9; ran out of solid before dosing",
+			opts: procedure.Options{Seed: runSeed(12), JoystickPrefix: 40, StopBeforeDosing: true}},
+		supSpec{kind: procedure.P1, opts: procedure.Options{Seed: runSeed(13), Solid: "NABH4"}},
+		supSpec{kind: procedure.P1, opts: procedure.Options{Seed: runSeed(14), Solid: "CSTI"}},
+		supSpec{kind: procedure.P1, opts: procedure.Options{Seed: runSeed(15), Solid: "GENTISTIC"}},
+		supSpec{kind: procedure.P1, note: "ANOMALY: Quantos front door crashed with the robot",
+			opts:    procedure.Options{Seed: runSeed(16), Solid: "NABH4"},
+			crashAt: 0.65, crashDev: device.Quantos, crashWhy: "front door crashed with the N9 robot"},
+	)
+	// IDs 17–20: Automated Solubility with N9 and UR3e.
+	specs = append(specs,
+		supSpec{kind: procedure.P2, note: "ANOMALY: Quantos front door crashed into UR3e at ~10%",
+			opts:    procedure.Options{Seed: runSeed(17), Solid: "NABH4"},
+			crashAt: 0.08, crashDev: device.Quantos, crashWhy: "front door crashed into UR3e"},
+		supSpec{kind: procedure.P2, note: "wrong gripper configuration; operator stopped at ~10%",
+			opts:   procedure.Options{Seed: runSeed(18), Solid: "NABH4"},
+			stopAt: 0.10},
+		supSpec{kind: procedure.P2, opts: procedure.Options{Seed: runSeed(19), Solid: "CSTI"}},
+		supSpec{kind: procedure.P2, opts: procedure.Options{Seed: runSeed(20), Solid: "GENTISTIC"}},
+	)
+	// IDs 21–24: Crystal Solubility.
+	specs = append(specs,
+		supSpec{kind: procedure.P3, opts: procedure.Options{Seed: runSeed(21)}},
+		supSpec{kind: procedure.P3, note: "ANOMALY: arm crashed with the Tecan at the end",
+			opts:    procedure.Options{Seed: runSeed(22)},
+			crashAt: 0.97, crashDev: device.C9, crashWhy: "N9 arm crashed with the Tecan"},
+		supSpec{kind: procedure.P3, opts: procedure.Options{Seed: runSeed(23)}},
+		supSpec{kind: procedure.P3, opts: procedure.Options{Seed: runSeed(24)}},
+	)
+	for id := range specs {
+		specs[id].id = id
+		specs[id].opts.Run = fmt.Sprintf("run-%d", id)
+		specs[id].opts.Quirks = quirks[id]
+		specs[id].labSeed = nextSeed()
+		specs[id].start = sched.nextDay(1 + sched.rng.IntN(2))
+	}
+	p.supervised = specs
+
+	// --- structured unsupervised sessions ---
+	// Structured unlabeled activity, sized to stay safely under each
+	// device's target so the top-up fill is always non-negative at scale 1.
+	scale := p.cfg.Scale
+	round := func(n float64) int { return int(math.Round(n * scale)) }
+	nJoy, nP1, nP2, nP3 := round(40), round(20), round(10), round(8)
+	solids := []string{"NABH4", "CSTI", "GENTISTIC"}
+	for i := 0; i < nJoy; i++ {
+		p.structured = append(p.structured, structSpec{kind: procedure.Joystick,
+			labSeed: nextSeed(), start: sched.nextDay(sched.rng.IntN(2))})
+	}
+	for i := 0; i < nP1; i++ {
+		p.structured = append(p.structured, structSpec{kind: procedure.P1,
+			solid: solids[sched.rng.IntN(3)], vials: 1 + sched.rng.IntN(3),
+			labSeed: nextSeed(), start: sched.nextDay(sched.rng.IntN(2))})
+	}
+	for i := 0; i < nP2; i++ {
+		p.structured = append(p.structured, structSpec{kind: procedure.P2,
+			solid: solids[sched.rng.IntN(3)], vials: 1 + sched.rng.IntN(2),
+			labSeed: nextSeed(), start: sched.nextDay(sched.rng.IntN(2))})
+	}
+	for i := 0; i < nP3; i++ {
+		p.structured = append(p.structured, structSpec{kind: procedure.P3,
+			vials:   1 + sched.rng.IntN(3),
+			labSeed: nextSeed(), start: sched.nextDay(sched.rng.IntN(2))})
+	}
+
+	// --- per-device top-up streams (device legend order) ---
+	for _, dev := range device.Names() {
+		p.fills = append(p.fills, fillSpec{dev: dev,
+			labSeed: nextSeed(), start: sched.nextDay(1 + sched.rng.IntN(2))})
+	}
+	return p
+}
+
+// --- shard execution ---
+
+// supResult is one supervised shard's output.
+type supResult struct {
+	info    RunInfo
+	records []store.Record
+	power   []power.Sample
 }
 
 // dryRunCommands measures how many commands a run issues by executing it on
 // a scratch lab with the same per-run seed. Per-run seeds make the command
 // sequence independent of surrounding lab state, so the measurement places
 // crash and stop points deterministically.
-func (g *generator) dryRunCommands(kind string, opts procedure.Options) (int, error) {
-	scratch, err := procedure.NewVirtualLab(procedure.VirtualLabConfig{Seed: g.cfg.Seed ^ 0xdead})
+func (p *plan) dryRunCommands(kind string, opts procedure.Options) (int, error) {
+	scratch, err := procedure.NewVirtualLab(procedure.VirtualLabConfig{Seed: p.cfg.Seed ^ 0xdead})
 	if err != nil {
 		return 0, fmt.Errorf("rad: scratch lab: %w", err)
 	}
@@ -155,177 +393,95 @@ func runKind(lab *procedure.Lab, kind string, opts procedure.Options) procedure.
 	}
 }
 
-// supervised executes the 25 supervised runs in Fig. 6 ID order, injecting
-// the three anomalies exactly where the paper's narrative places them.
-func (g *generator) supervised(ds *Dataset) error {
-	type spec struct {
-		kind string
-		opts procedure.Options
-		note string
-		// fractions of the dry-run command count at which to crash or stop
-		// (0 = none).
-		crashAt  float64
-		crashDev string
-		crashWhy string
-		stopAt   float64
+// runSupervised executes one supervised run on its own shard lab, injecting
+// the anomaly exactly where the paper's narrative places it.
+func (p *plan) runSupervised(sp supSpec) (supResult, error) {
+	if sp.crashAt > 0 || sp.stopAt > 0 {
+		total, err := p.dryRunCommands(sp.kind, sp.opts)
+		if err != nil {
+			return supResult{}, err
+		}
+		if sp.crashAt > 0 {
+			sp.opts.Crash = &procedure.CrashPlan{
+				Device: sp.crashDev, Reason: sp.crashWhy,
+				AfterCommands: int(sp.crashAt * float64(total)),
+			}
+		}
+		if sp.stopAt > 0 {
+			sp.opts.StopAfterCommands = int(sp.stopAt * float64(total))
+		}
 	}
-	seed := func(id int) uint64 { return g.cfg.Seed*1000 + uint64(id) + 1 }
 
-	// Benign runs are not sterile: several contain operator quirks (manual
-	// detours between phases) — the realistic irregularities behind the
-	// perplexity IDS's false positives (Table I).
-	quirks := map[int]int{2: 6, 5: 3, 9: 2, 13: 4, 19: 4, 23: 3}
-
-	specs := make([]spec, 0, NumSupervisedRuns)
-	// IDs 0–11: joystick sessions of varying length.
-	for id := 0; id < 12; id++ {
-		specs = append(specs, spec{kind: procedure.Joystick,
-			opts: procedure.Options{Seed: seed(id)},
-			note: "joystick session"})
+	vl, err := procedure.NewVirtualLab(procedure.VirtualLabConfig{
+		Start: sp.start, Seed: sp.labSeed, WithPower: sp.kind == procedure.P2,
+	})
+	if err != nil {
+		return supResult{}, fmt.Errorf("rad: build shard lab: %w", err)
 	}
-	// IDs 12–16: Automated Solubility with N9.
-	specs = append(specs,
-		spec{kind: procedure.P1, note: "used joystick to position N9; ran out of solid before dosing",
-			opts: procedure.Options{Seed: seed(12), JoystickPrefix: 40, StopBeforeDosing: true}},
-		spec{kind: procedure.P1, opts: procedure.Options{Seed: seed(13), Solid: "NABH4"}},
-		spec{kind: procedure.P1, opts: procedure.Options{Seed: seed(14), Solid: "CSTI"}},
-		spec{kind: procedure.P1, opts: procedure.Options{Seed: seed(15), Solid: "GENTISTIC"}},
-		spec{kind: procedure.P1, note: "ANOMALY: Quantos front door crashed with the robot",
-			opts:    procedure.Options{Seed: seed(16), Solid: "NABH4"},
-			crashAt: 0.65, crashDev: device.Quantos, crashWhy: "front door crashed with the N9 robot"},
-	)
-	// IDs 17–20: Automated Solubility with N9 and UR3e.
-	specs = append(specs,
-		spec{kind: procedure.P2, note: "ANOMALY: Quantos front door crashed into UR3e at ~10%",
-			opts:    procedure.Options{Seed: seed(17), Solid: "NABH4"},
-			crashAt: 0.08, crashDev: device.Quantos, crashWhy: "front door crashed into UR3e"},
-		spec{kind: procedure.P2, note: "wrong gripper configuration; operator stopped at ~10%",
-			opts:   procedure.Options{Seed: seed(18), Solid: "NABH4"},
-			stopAt: 0.10},
-		spec{kind: procedure.P2, opts: procedure.Options{Seed: seed(19), Solid: "CSTI"}},
-		spec{kind: procedure.P2, opts: procedure.Options{Seed: seed(20), Solid: "GENTISTIC"}},
-	)
-	// IDs 21–24: Crystal Solubility.
-	specs = append(specs,
-		spec{kind: procedure.P3, opts: procedure.Options{Seed: seed(21)}},
-		spec{kind: procedure.P3, note: "ANOMALY: arm crashed with the Tecan at the end",
-			opts:    procedure.Options{Seed: seed(22)},
-			crashAt: 0.97, crashDev: device.C9, crashWhy: "N9 arm crashed with the Tecan"},
-		spec{kind: procedure.P3, opts: procedure.Options{Seed: seed(23)}},
-		spec{kind: procedure.P3, opts: procedure.Options{Seed: seed(24)}},
-	)
+	defer vl.Close()
 
-	for id, sp := range specs {
-		sp.opts.Run = fmt.Sprintf("run-%d", id)
-		sp.opts.Quirks = quirks[id]
-		if sp.crashAt > 0 || sp.stopAt > 0 {
-			total, err := g.dryRunCommands(sp.kind, sp.opts)
-			if err != nil {
-				return err
-			}
-			if sp.crashAt > 0 {
-				sp.opts.Crash = &procedure.CrashPlan{
-					Device: sp.crashDev, Reason: sp.crashWhy,
-					AfterCommands: int(sp.crashAt * float64(total)),
-				}
-			}
-			if sp.stopAt > 0 {
-				sp.opts.StopAfterCommands = int(sp.stopAt * float64(total))
-			}
-		}
-
-		g.nextDay(1 + g.rng.IntN(2))
-		monStart := g.vl.Lab.Monitor.Len()
-		res := runKind(g.vl.Lab, sp.kind, sp.opts)
-		if res.Err != nil && !res.Anomalous && res.Err != procedure.Stopped {
-			return fmt.Errorf("rad: supervised %s (%s): %w", sp.opts.Run, sp.kind, res.Err)
-		}
-		// Clear any fault the crash left armed so later activity proceeds.
-		if sp.crashDev != "" {
-			if fa, ok := g.vl.Lab.Faultable(sp.crashDev); ok {
-				fa.ClearFault()
-			}
-		}
-		if sp.kind == procedure.P2 {
-			all := g.vl.Lab.Monitor.Samples()
-			ds.PowerByRun[sp.opts.Run] = all[monStart:]
-		}
-		ds.Runs = append(ds.Runs, RunInfo{
-			ID: id, Run: sp.opts.Run, Procedure: sp.kind,
+	res := runKind(vl.Lab, sp.kind, sp.opts)
+	if res.Err != nil && !res.Anomalous && res.Err != procedure.Stopped {
+		return supResult{}, fmt.Errorf("rad: supervised %s (%s): %w", sp.opts.Run, sp.kind, res.Err)
+	}
+	out := supResult{
+		info: RunInfo{
+			ID: sp.id, Run: sp.opts.Run, Procedure: sp.kind,
 			Anomalous: res.Anomalous, Commands: res.Commands, Note: sp.note,
-		})
+		},
+		records: vl.Sink.All(),
 	}
-	// The power monitor keeps recording during unsupervised activity; reset
-	// it so the bulk phase does not hold tens of millions of quiescent
-	// entries in memory (the paper similarly stores only a fraction of
-	// quiescent samples).
-	g.vl.Lab.Monitor.Reset()
-	return nil
+	if sp.kind == procedure.P2 {
+		out.power = vl.Lab.Monitor.Samples()
+	}
+	return out, nil
 }
 
-// unsupervised generates the campaign bulk: unlabeled screens, joystick
-// prototyping, and per-device top-up sessions landing exactly on the scaled
-// Fig. 5(a) totals.
-func (g *generator) unsupervised(ds *Dataset) error {
-	scale := g.cfg.Scale
-	round := func(n float64) int { return int(math.Round(n * scale)) }
+// runStructured executes one unsupervised prototyping session on its own
+// shard lab.
+func (p *plan) runStructured(sp structSpec) ([]store.Record, error) {
+	vl, err := procedure.NewVirtualLab(procedure.VirtualLabConfig{
+		Start: sp.start, Seed: sp.labSeed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rad: build shard lab: %w", err)
+	}
+	defer vl.Close()
+	opts := procedure.Options{Unsupervised: true, Solid: sp.solid, Vials: sp.vials}
+	if res := runKind(vl.Lab, sp.kind, opts); res.Err != nil {
+		return nil, fmt.Errorf("rad: unsupervised %s: %w", sp.kind, res.Err)
+	}
+	return vl.Sink.All(), nil
+}
 
-	// Structured unlabeled activity, sized to stay safely under each
-	// device's target so the top-up fill is always non-negative at scale 1.
-	nJoy, nP1, nP2, nP3 := round(40), round(20), round(10), round(8)
-	solids := []string{"NABH4", "CSTI", "GENTISTIC"}
-	for i := 0; i < nJoy; i++ {
-		g.nextDay(g.rng.IntN(2))
-		if res := procedure.RunJoystick(g.vl.Lab, procedure.Options{Unsupervised: true}, 0); res.Err != nil {
-			return fmt.Errorf("rad: unsupervised joystick: %w", res.Err)
-		}
+// runFill issues exactly deficit commands against one device, in bounded
+// sessions spread across days like the rest of the campaign.
+func (p *plan) runFill(sp fillSpec, deficit int) ([]store.Record, error) {
+	if deficit <= 0 {
+		return nil, nil
 	}
-	for i := 0; i < nP1; i++ {
-		g.nextDay(g.rng.IntN(2))
-		opts := procedure.Options{Unsupervised: true, Solid: solids[g.rng.IntN(3)], Vials: 1 + g.rng.IntN(3)}
-		if res := procedure.RunSolubilityN9(g.vl.Lab, opts); res.Err != nil {
-			return fmt.Errorf("rad: unsupervised P1: %w", res.Err)
-		}
+	vl, err := procedure.NewVirtualLab(procedure.VirtualLabConfig{
+		Start: sp.start, Seed: sp.labSeed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rad: build shard lab: %w", err)
 	}
-	for i := 0; i < nP2; i++ {
-		g.nextDay(g.rng.IntN(2))
-		opts := procedure.Options{Unsupervised: true, Solid: solids[g.rng.IntN(3)], Vials: 1 + g.rng.IntN(2)}
-		if res := procedure.RunSolubilityN9UR(g.vl.Lab, opts); res.Err != nil {
-			return fmt.Errorf("rad: unsupervised P2: %w", res.Err)
+	defer vl.Close()
+	gaps := &schedule{rng: rand.New(rand.NewPCG(sp.labSeed^0xf111, sp.labSeed+0x0dd)), now: sp.start}
+	for deficit > 0 {
+		// Fill in bounded sessions: keeps each session realistic and
+		// interleaves days like the serial campaign did.
+		chunk := deficit
+		if chunk > 2500 {
+			chunk = 2500
 		}
-		g.vl.Lab.Monitor.Reset()
-	}
-	for i := 0; i < nP3; i++ {
-		g.nextDay(g.rng.IntN(2))
-		opts := procedure.Options{Unsupervised: true, Vials: 1 + g.rng.IntN(3)}
-		if res := procedure.RunCrystalSolubility(g.vl.Lab, opts); res.Err != nil {
-			return fmt.Errorf("rad: unsupervised P3: %w", res.Err)
+		n, err := procedure.FillDevice(vl.Lab, sp.dev, chunk)
+		if err != nil {
+			return nil, fmt.Errorf("rad: fill %s: %w", sp.dev, err)
 		}
+		deficit -= n
+		gaps.now = vl.Clock.Now()
+		vl.Clock.Set(gaps.nextDay(gaps.rng.IntN(2)))
 	}
-
-	// Top-up fill: land exactly on the per-device targets. At small scales
-	// the structured activity may already exceed a target; the deficit
-	// clamps to zero (totals are exact at scale 1, asserted in tests).
-	counts := ds.Store.CountByDevice()
-	for _, dev := range device.Names() {
-		deficit := ds.Targets[dev] - counts[dev]
-		for deficit > 0 {
-			// Fill in bounded sessions: keeps the UR3e power buffer small
-			// (reset between chunks) and interleaves days realistically.
-			chunk := deficit
-			if chunk > 2500 {
-				chunk = 2500
-			}
-			n, err := procedure.FillDevice(g.vl.Lab, dev, chunk)
-			if err != nil {
-				return fmt.Errorf("rad: fill %s: %w", dev, err)
-			}
-			deficit -= n
-			if dev == device.UR3e {
-				g.vl.Lab.Monitor.Reset()
-			}
-			g.nextDay(g.rng.IntN(2))
-		}
-	}
-	return nil
+	return vl.Sink.All(), nil
 }

@@ -1,6 +1,10 @@
 package rad
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"runtime"
 	"testing"
 
 	"rad/internal/device"
@@ -245,6 +249,58 @@ func TestSpanEmptyDataset(t *testing.T) {
 	empty := &Dataset{Store: store.NewMemStore()}
 	if _, _, days := empty.Span(); days != 0 {
 		t.Errorf("empty span = %v", days)
+	}
+}
+
+// exportHash hashes the dataset's full CSV and JSONL exports — the bytes a
+// user of radgen would actually receive.
+func exportHash(t *testing.T, ds *Dataset) string {
+	t.Helper()
+	h := sha256.New()
+	var buf bytes.Buffer
+	csvw := store.NewCSVWriter(&buf)
+	if err := csvw.AppendBatch(ds.Store.All()); err != nil {
+		t.Fatalf("CSV export: %v", err)
+	}
+	h.Write(buf.Bytes())
+	buf.Reset()
+	jw := store.NewJSONLWriter(&buf)
+	if err := jw.AppendBatch(ds.Store.All()); err != nil {
+		t.Fatalf("JSONL export: %v", err)
+	}
+	h.Write(buf.Bytes())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestGenerateParallelDeterministic is the regression test for the canonical
+// ordering guarantee: the same Config must produce byte-identical CSV/JSONL
+// exports whether generation runs on one worker under GOMAXPROCS=1 or on
+// many workers under all CPUs.
+func TestGenerateParallelDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Scale: 0.05}
+
+	prev := runtime.GOMAXPROCS(1)
+	cfg.Workers = 1
+	serial, err := Generate(cfg)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exportHash(t, serial)
+
+	for _, workers := range []int{2, 8} {
+		cfg.Workers = workers
+		ds, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.Store.Len() != serial.Store.Len() {
+			t.Fatalf("workers=%d produced %d records, serial produced %d",
+				workers, ds.Store.Len(), serial.Store.Len())
+		}
+		if got := exportHash(t, ds); got != want {
+			t.Errorf("workers=%d export hash %s, want %s (serial)", workers, got, want)
+		}
 	}
 }
 

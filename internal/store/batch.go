@@ -1,0 +1,77 @@
+package store
+
+// BatchSink is implemented by sinks that can consume many records with one
+// call — one lock acquisition (MemStore) or one buffered write burst
+// (CSVWriter, JSONLWriter) instead of per-record synchronization.
+type BatchSink interface {
+	Sink
+	AppendBatch(recs []Record) error
+}
+
+// AppendAll forwards recs to sink, using AppendBatch when the sink supports
+// it and falling back to per-record Append otherwise.
+func AppendAll(sink Sink, recs []Record) error {
+	if bs, ok := sink.(BatchSink); ok {
+		return bs.AppendBatch(recs)
+	}
+	for _, r := range recs {
+		if err := sink.Append(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Batcher buffers Append calls locally and forwards them to the underlying
+// sink in batches. It gives a hot path (a device session, a middlebox
+// connection) a private, lock-free staging area with an explicit flush
+// boundary: the shared sink's lock is taken once per batch instead of once
+// per record.
+//
+// A Batcher is intentionally NOT safe for concurrent use — each concurrent
+// session owns its own Batcher and only the flushes synchronize. Records
+// are not visible in the underlying sink until Flush (or an automatic flush
+// when the buffer reaches its size). Callers must Flush before reading the
+// sink or discarding the Batcher.
+type Batcher struct {
+	sink Sink
+	buf  []Record
+	size int
+}
+
+var _ Sink = (*Batcher)(nil)
+
+// DefaultBatchSize is the automatic flush threshold when NewBatcher is
+// given a non-positive size.
+const DefaultBatchSize = 256
+
+// NewBatcher wraps sink with a flush-bounded buffer of the given size.
+func NewBatcher(sink Sink, size int) *Batcher {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &Batcher{sink: sink, buf: make([]Record, 0, size), size: size}
+}
+
+// Append stages the record, flushing to the underlying sink when the buffer
+// is full.
+func (b *Batcher) Append(r Record) error {
+	b.buf = append(b.buf, r)
+	if len(b.buf) >= b.size {
+		return b.Flush()
+	}
+	return nil
+}
+
+// Flush forwards all staged records to the underlying sink.
+func (b *Batcher) Flush() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	err := AppendAll(b.sink, b.buf)
+	b.buf = b.buf[:0]
+	return err
+}
+
+// Pending returns the number of staged records not yet flushed.
+func (b *Batcher) Pending() int { return len(b.buf) }

@@ -40,6 +40,19 @@ func (j *JSONLWriter) Append(r Record) error {
 	return nil
 }
 
+// AppendBatch writes the records as one burst of lines; the encoding is
+// identical to per-record Append.
+func (j *JSONLWriter) AppendBatch(recs []Record) error {
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			return err
+		}
+	}
+	return j.Flush()
+}
+
+var _ BatchSink = (*JSONLWriter)(nil)
+
 // Flush flushes buffered lines to the underlying writer.
 func (j *JSONLWriter) Flush() error {
 	if err := j.w.Flush(); err != nil {
@@ -86,3 +99,16 @@ func (t Tee) Append(r Record) error {
 	}
 	return nil
 }
+
+// AppendBatch forwards the batch to every sink in order, preserving each
+// sink's own batching fast path.
+func (t Tee) AppendBatch(recs []Record) error {
+	for _, s := range t {
+		if err := AppendAll(s, recs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var _ BatchSink = Tee(nil)

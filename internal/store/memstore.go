@@ -35,6 +35,27 @@ func (s *MemStore) Append(r Record) error {
 	return nil
 }
 
+// AppendBatch stores all records under one lock acquisition, assigning
+// consecutive sequence numbers in slice order — the flush boundary batched
+// producers (store.Batcher, the campaign merge) rely on.
+func (s *MemStore) AppendBatch(recs []Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cap(s.records)-len(s.records) < len(recs) {
+		grown := make([]Record, len(s.records), len(s.records)+len(recs))
+		copy(grown, s.records)
+		s.records = grown
+	}
+	for _, r := range recs {
+		r.Seq = s.nextSeq
+		s.nextSeq++
+		s.records = append(s.records, r)
+	}
+	return nil
+}
+
+var _ BatchSink = (*MemStore)(nil)
+
 // Len returns the number of stored records.
 func (s *MemStore) Len() int {
 	s.mu.RLock()

@@ -2,6 +2,8 @@ package wire
 
 import (
 	"bytes"
+	"reflect"
+	"strings"
 	"testing"
 	"unicode/utf8"
 )
@@ -53,6 +55,53 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		if out.ID != in.ID || out.Device != in.Device || out.Name != in.Name ||
 			out.Value != in.Value || out.Error != in.Error {
 			t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+		}
+	})
+}
+
+// FuzzPooledFrameSequence hardens the buffer pooling: a long frame followed
+// by shorter frames reuses the same pooled buffers, and every frame must
+// still round-trip to exactly itself — no byte of one frame may leak into
+// the next. A stale pooled-buffer length, a missed Reset, or a header
+// patched at the wrong offset all fail this target.
+func FuzzPooledFrameSequence(f *testing.F) {
+	f.Add("C9", "a long argument string that forces buffer growth", "x", uint64(3))
+	f.Add("", "", "", uint64(0))
+	f.Add("Quantos", "αβγ", strings.Repeat("z", 2000), uint64(9))
+	f.Fuzz(func(t *testing.T, dev, long, short string, id uint64) {
+		if !utf8.ValidString(dev) || !utf8.ValidString(long) || !utf8.ValidString(short) {
+			t.Skip()
+		}
+		// Alternate a large and a small frame several times through one
+		// buffer so pooled encode and decode buffers get reused with
+		// different prior contents.
+		frames := []Request{
+			{ID: id, Op: OpExec, Device: dev, Name: "ARM", Args: []string{long, long}},
+			{ID: id + 1, Op: OpTrace, Device: dev, Name: "MVNG", Value: short},
+			{ID: id + 2, Op: OpPing},
+			{ID: id + 3, Op: OpExec, Device: dev, Name: "ARM", Value: long, Error: short},
+			{ID: id + 4, Op: OpTrace, Name: short},
+		}
+		var buf bytes.Buffer
+		for round := 0; round < 3; round++ {
+			for i, in := range frames {
+				buf.Reset()
+				if err := WriteFrame(&buf, in); err != nil {
+					t.Skip() // oversized inputs are rejected by design
+				}
+				var out Request
+				if err := ReadFrame(&buf, &out); err != nil {
+					t.Fatalf("round %d frame %d: decode: %v", round, i, err)
+				}
+				if !reflect.DeepEqual(out, in) {
+					t.Fatalf("round %d frame %d: cross-frame leakage: got %+v want %+v",
+						round, i, out, in)
+				}
+				if buf.Len() != 0 {
+					t.Fatalf("round %d frame %d: %d trailing bytes after decode",
+						round, i, buf.Len())
+				}
+			}
 		}
 	})
 }

@@ -19,11 +19,13 @@
 package wire
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // MaxFrameSize bounds a single frame. Device commands and responses are tiny
@@ -75,27 +77,60 @@ type Reply struct {
 	Error string `json:"error,omitempty"`
 }
 
+// pooledLimit caps how large a buffer the frame pools retain. Typical
+// frames are well under a kilobyte; a rare near-MaxFrameSize frame must not
+// pin a megabyte in every pool slot.
+const pooledLimit = 64 << 10
+
+// encBuf is a reusable encode buffer: the frame bytes plus a json.Encoder
+// permanently bound to them. Each WriteFrame builds the complete frame —
+// 4-byte header and JSON payload — in this one buffer and hands it to the
+// writer with a single Write.
+type encBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	b := &encBuf{}
+	b.enc = json.NewEncoder(&b.buf)
+	return b
+}}
+
+var decPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // WriteFrame marshals v as JSON and writes it as one length-prefixed frame.
+// Encode buffers are pooled and fully rewritten per frame, so reuse never
+// leaks bytes from one frame into the next (fuzzed in fuzz_test.go).
 func WriteFrame(w io.Writer, v any) error {
-	payload, err := json.Marshal(v)
-	if err != nil {
+	b := encPool.Get().(*encBuf)
+	defer func() {
+		if b.buf.Cap() <= pooledLimit {
+			encPool.Put(b)
+		}
+	}()
+	b.buf.Reset()
+	b.buf.Write([]byte{0, 0, 0, 0}) // header placeholder, patched below
+	// Encoder.Encode produces json.Marshal's exact bytes plus a trailing
+	// newline, which the frame length excludes.
+	if err := b.enc.Encode(v); err != nil {
 		return fmt.Errorf("wire: marshal frame: %w", err)
 	}
-	if len(payload) > MaxFrameSize {
+	n := b.buf.Len() - 4 - 1
+	if n > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: write frame header: %w", err)
-	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("wire: write frame payload: %w", err)
+	frame := b.buf.Bytes()[:4+n]
+	binary.BigEndian.PutUint32(frame[:4], uint32(n))
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
 	}
 	return nil
 }
 
-// ReadFrame reads one length-prefixed frame and unmarshals it into v.
+// ReadFrame reads one length-prefixed frame and unmarshals it into v. The
+// payload is read into a pooled buffer; encoding/json copies everything it
+// stores into v, so the buffer can be reused by the next frame.
 func ReadFrame(r io.Reader, v any) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -108,7 +143,16 @@ func ReadFrame(r io.Reader, v any) error {
 	if n > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	payload := make([]byte, n)
+	pb := decPool.Get().(*[]byte)
+	defer func() {
+		if cap(*pb) <= pooledLimit {
+			decPool.Put(pb)
+		}
+	}()
+	if cap(*pb) < int(n) {
+		*pb = make([]byte, n)
+	}
+	payload := (*pb)[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return fmt.Errorf("wire: read frame payload: %w", err)
 	}

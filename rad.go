@@ -205,7 +205,8 @@ var (
 // Dataset is the generated Robotic Arm Dataset.
 type Dataset = dataset.Dataset
 
-// GenerateConfig configures dataset generation (seed and scale).
+// GenerateConfig configures dataset generation (seed, scale, and worker
+// count; the output is byte-identical for every worker count).
 type GenerateConfig = dataset.Config
 
 // RunInfo describes one supervised run in Fig. 6 ID order.
@@ -248,18 +249,26 @@ type NGramModel = ngram.Model
 // TrainNGram fits an order-n model with the given smoothing constant.
 var TrainNGram = ngram.Train
 
-// TopNGrams returns the k most frequent n-grams (Fig. 5b).
-var TopNGrams = ngram.TopK
+// TopNGrams returns the k most frequent n-grams (Fig. 5b). Counting fans
+// out across GOMAXPROCS workers on large corpora; TopNGramsParallel bounds
+// the worker count explicitly. Both produce identical output at any worker
+// count.
+var (
+	TopNGrams         = ngram.TopK
+	TopNGramsParallel = ngram.TopKParallel
+)
 
 // TFIDFVectorizer computes the §V-A fingerprints.
 type TFIDFVectorizer = tfidf.Vectorizer
 
 // FitTFIDF fits a vectorizer; CosineSimilarity compares two fingerprints;
-// SimilarityMatrix computes all pairwise similarities (Fig. 6).
+// SimilarityMatrix computes all pairwise similarities (Fig. 6) on
+// GOMAXPROCS workers; SimilarityMatrixParallel bounds the worker count.
 var (
-	FitTFIDF         = tfidf.Fit
-	CosineSimilarity = tfidf.Cosine
-	SimilarityMatrix = tfidf.SimilarityMatrix
+	FitTFIDF                 = tfidf.Fit
+	CosineSimilarity         = tfidf.Cosine
+	SimilarityMatrix         = tfidf.SimilarityMatrix
+	SimilarityMatrixParallel = tfidf.SimilarityMatrixParallel
 )
 
 // JenksSplit2 splits scores into two natural classes (§V-B).
