@@ -1,0 +1,106 @@
+package rad_test
+
+// Benchmarks for the persistent trace store: ingest throughput through the
+// Batcher flush boundary, and the payoff of the per-segment posting lists —
+// an indexed per-command-type scan against a full-segment scan over the
+// same campaign. Run:
+//
+//	go test -bench=BenchmarkTraceDB -benchmem
+
+import (
+	"testing"
+
+	"rad"
+)
+
+// BenchmarkTraceDBAppend measures batched ingest: one AppendBatch (= one
+// on-disk block) of 256 records per iteration.
+func BenchmarkTraceDBAppend(b *testing.B) {
+	ds := benchDataset(b)
+	recs := ds.Store.All()
+	const batch = 256
+	if len(recs) < batch {
+		b.Fatalf("campaign too small: %d records", len(recs))
+	}
+	db, err := rad.OpenTraceDB(b.TempDir(), rad.TraceDBOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.AppendBatch(recs[(i*batch)%(len(recs)-batch) : (i*batch)%(len(recs)-batch)+batch]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(batch, "records/op")
+}
+
+// BenchmarkTraceDBScanIndexed compares an indexed scan (posting lists prune
+// non-matching blocks before any disk read) against a full scan that decodes
+// the whole campaign and filters in memory — same result set, same store.
+func BenchmarkTraceDBScanIndexed(b *testing.B) {
+	ds := benchDataset(b)
+	recs := ds.Store.All()
+	db, err := rad.OpenTraceDB(b.TempDir(), rad.TraceDBOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	bt := rad.NewTraceBatcher(db, 512)
+	for _, r := range recs {
+		if err := bt.Append(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := bt.Flush(); err != nil {
+		b.Fatal(err)
+	}
+
+	// A rare command type: present, but confined to few blocks.
+	const key = "Quantos.start_dosing"
+	q := rad.TraceQuery{Key: key}
+	want := 0
+	for _, r := range recs {
+		if r.Key() == key {
+			want++
+		}
+	}
+	if want == 0 {
+		b.Fatalf("campaign has no %s records", key)
+	}
+
+	b.Run("Indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			got, err := db.Collect(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(got) != want {
+				b.Fatalf("indexed scan found %d records, want %d", len(got), want)
+			}
+		}
+	})
+	b.Run("FullScan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			it := db.Scan(rad.TraceQuery{}) // every block read and decoded
+			for it.Next() {
+				if it.Record().Key() == key {
+					n++
+				}
+			}
+			if err := it.Err(); err != nil {
+				b.Fatal(err)
+			}
+			if n != want {
+				b.Fatalf("full scan found %d records, want %d", n, want)
+			}
+		}
+	})
+}

@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	radgen [-seed N] [-scale F] [-workers N] [-out DIR] [-format csv|jsonl|both]
+//	radgen [-seed N] [-scale F] [-workers N] [-out DIR] [-format csv|jsonl|both] [-store DIR]
 //
 // Generation is sharded across -workers goroutines; the output is
 // byte-identical for every worker count (see internal/rad's canonical
-// ordering).
+// ordering). With -store, the campaign is additionally ingested into a
+// persistent tracedb directory, ready for radquery and radreplay without
+// regeneration.
 package main
 
 import (
@@ -35,6 +37,7 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "generation worker goroutines (0 = GOMAXPROCS)")
 	out := fs.String("out", "rad-dataset", "output directory")
 	format := fs.String("format", "both", "command-dataset format: csv, jsonl, or both")
+	storeDir := fs.String("store", "", "also ingest the campaign into this tracedb directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,6 +65,12 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if *storeDir != "" {
+		if err := writeTraceDB(*storeDir, records); err != nil {
+			return err
+		}
+		fmt.Printf("ingested %d trace objects into tracedb at %s\n", len(records), *storeDir)
+	}
 	if err := writeRunIndex(filepath.Join(*out, "runs.csv"), ds.Runs); err != nil {
 		return err
 	}
@@ -80,6 +89,27 @@ func run(args []string) error {
 	fmt.Printf("supervised runs: %d (3 anomalous); power captures: %d P2 runs\n",
 		len(ds.Runs), len(ds.PowerByRun))
 	return nil
+}
+
+// writeTraceDB ingests the campaign into a persistent tracedb store through
+// the Batcher flush boundary, so each flush lands as one on-disk block.
+func writeTraceDB(dir string, records []rad.TraceRecord) error {
+	db, err := rad.OpenTraceDB(dir, rad.TraceDBOptions{})
+	if err != nil {
+		return err
+	}
+	b := rad.NewTraceBatcher(db, 4096)
+	for _, r := range records {
+		if err := b.Append(r); err != nil {
+			db.Close()
+			return fmt.Errorf("ingest tracedb: %w", err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		db.Close()
+		return fmt.Errorf("ingest tracedb: %w", err)
+	}
+	return db.Close()
 }
 
 func writeCommandCSV(path string, records []rad.TraceRecord) error {

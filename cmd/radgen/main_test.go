@@ -13,7 +13,9 @@ import (
 // directory and validates every artifact it writes.
 func TestRadgenWritesDataset(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{"-seed", "3", "-scale", "0.01", "-out", dir, "-format", "both"}); err != nil {
+	storeDir := filepath.Join(dir, "tracedb")
+	if err := run([]string{"-seed", "3", "-scale", "0.01", "-out", dir, "-format", "both",
+		"-store", storeDir}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -38,6 +40,20 @@ func TestRadgenWritesDataset(t *testing.T) {
 	}
 	if len(fromCSV) == 0 || len(fromCSV) != len(fromJSONL) {
 		t.Fatalf("csv %d records, jsonl %d", len(fromCSV), len(fromJSONL))
+	}
+
+	// The tracedb ingest holds the same campaign, queryable from disk.
+	db, err := rad.OpenTraceDB(storeDir, rad.TraceDBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.Len() != len(fromJSONL) {
+		t.Errorf("tracedb has %d records, exports have %d", db.Len(), len(fromJSONL))
+	}
+	wantRuns := 25
+	if got := len(db.Runs()); got != wantRuns {
+		t.Errorf("tracedb indexes %d runs, want %d", got, wantRuns)
 	}
 
 	// The run index lists the 25 supervised runs.

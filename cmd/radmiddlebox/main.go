@@ -1,13 +1,16 @@
 // Command radmiddlebox runs a standalone trusted middlebox: it hosts the
 // five simulated Hein Lab devices, serves the wire protocol over TCP, and
-// logs every command to JSONL (and optionally CSV) trace files — the
-// deployment of Fig. 1 with the physical devices replaced by simulators.
+// logs every command to a persistent tracedb store and/or JSONL/CSV trace
+// files — the deployment of Fig. 1 with the physical devices replaced by
+// simulators and the MongoDB instance by the embedded store.
 //
 // Usage:
 //
-//	radmiddlebox [-listen ADDR] [-trace FILE.jsonl] [-csv FILE.csv] [-network lan|cloud|none] [-power]
+//	radmiddlebox [-listen ADDR] [-store DIR] [-trace FILE.jsonl] [-csv FILE.csv] [-network lan|cloud|none] [-power]
 //
-// Stop with SIGINT/SIGTERM; traces are flushed on shutdown.
+// Stop with SIGINT/SIGTERM; traces are flushed on shutdown. A -store
+// directory survives crashes (torn tails are truncated on reopen) and is
+// queryable with radquery while the middlebox is down.
 package main
 
 import (
@@ -46,6 +49,7 @@ func main() {
 func run(args []string, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("radmiddlebox", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7780", "listen address")
+	storeDir := fs.String("store", "", "persistent tracedb directory ('' disables)")
 	tracePath := fs.String("trace", "middlebox-trace.jsonl", "JSONL trace log ('' disables)")
 	csvPath := fs.String("csv", "", "additional CSV trace log ('' disables)")
 	network := fs.String("network", "lan", "emulated network profile: lan, cloud, or none")
@@ -66,10 +70,21 @@ func run(args []string, stop <-chan struct{}) error {
 		return fmt.Errorf("unknown network profile %q", *network)
 	}
 
-	// Trace sinks: in-memory store for stats plus optional file logs.
+	// Trace sinks: in-memory store for stats plus the optional persistent
+	// store and file logs.
 	mem := rad.NewTraceStore()
 	sinks := []rad.TraceSink{mem}
 	var flushers []interface{ Flush() error }
+	var tdb *rad.TraceDB
+	if *storeDir != "" {
+		db, err := rad.OpenTraceDB(*storeDir, rad.TraceDBOptions{})
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		tdb = db
+		sinks = append(sinks, tdb)
+	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
@@ -126,6 +141,13 @@ func run(args []string, stop <-chan struct{}) error {
 	stats := core.Snapshot()
 	fmt.Printf("\nshut down: %d execs, %d trace uploads, %d pings, %d errors; %d records logged\n",
 		stats.Execs, stats.Traces, stats.Pings, stats.Errors, mem.Len())
+	if tdb != nil {
+		if err := tdb.Flush(); err != nil {
+			return err
+		}
+		fmt.Printf("tracedb: %d records persisted to %s (%d segments)\n",
+			tdb.Len(), tdb.Dir(), tdb.Segments())
+	}
 	if monitor != nil {
 		fmt.Printf("power samples recorded: %d\n", monitor.Len())
 	}

@@ -16,6 +16,7 @@ func TestMiddleboxServesAndFlushes(t *testing.T) {
 	dir := t.TempDir()
 	tracePath := filepath.Join(dir, "trace.jsonl")
 	csvPath := filepath.Join(dir, "trace.csv")
+	storeDir := filepath.Join(dir, "tracedb")
 
 	listenReady = make(chan string, 1)
 	defer func() { listenReady = nil }()
@@ -23,7 +24,8 @@ func TestMiddleboxServesAndFlushes(t *testing.T) {
 	done := make(chan error, 1)
 	go func() {
 		done <- run([]string{
-			"-listen", "127.0.0.1:0", "-trace", tracePath, "-csv", csvPath, "-network", "none",
+			"-listen", "127.0.0.1:0", "-trace", tracePath, "-csv", csvPath,
+			"-store", storeDir, "-network", "none",
 		}, stop)
 	}()
 
@@ -87,6 +89,25 @@ func TestMiddleboxServesAndFlushes(t *testing.T) {
 	}
 	if len(fromCSV) != 2 {
 		t.Errorf("csv has %d records, want 2", len(fromCSV))
+	}
+
+	// The persistent store survives the shutdown and answers the same scan.
+	db, err := rad.OpenTraceDB(storeDir, rad.TraceDBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	persisted, err := db.Collect(rad.TraceQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(persisted) != 2 {
+		t.Errorf("tracedb has %d records, want 2", len(persisted))
+	}
+	for i, r := range persisted {
+		if r.Device != rad.DeviceC9 || r.Seq != uint64(i) {
+			t.Errorf("persisted record %d unexpected: %+v", i, r)
+		}
 	}
 }
 

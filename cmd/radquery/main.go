@@ -1,0 +1,185 @@
+// Command radquery answers the analyses' query shapes straight from a
+// persisted tracedb directory — no regeneration, no full-campaign rescan.
+// It is the read side of the paper's MongoDB substitution: where RATracer's
+// users query the document store for per-device or per-run slices, radquery
+// serves the same slices from the embedded store's segments and indexes.
+//
+// Usage:
+//
+//	radquery -store DIR [-mode info|count|runs|scan] [filters]
+//
+// Modes:
+//
+//	info   store summary: segments, records, time span, runs (default)
+//	count  records per group (-by command|device|run|procedure)
+//	runs   the distinct supervised run identifiers
+//	scan   stream matching records (-format jsonl|csv), e.g. the per-run
+//	       extraction feeding RQ1/Table I
+//
+// Filters (scan, and count for run/procedure groupings): -device, -key,
+// -proc, -run, -from/-to (RFC 3339), -limit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"rad"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "radquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("radquery", flag.ContinueOnError)
+	storeDir := fs.String("store", "", "tracedb directory (required)")
+	mode := fs.String("mode", "info", "info, count, runs, or scan")
+	by := fs.String("by", "command", "count grouping: command, device, run, or procedure")
+	device := fs.String("device", "", "filter: device name")
+	key := fs.String("key", "", "filter: command type (Device.Name)")
+	proc := fs.String("proc", "", "filter: procedure label")
+	runLabel := fs.String("run", "", "filter: supervised run identifier")
+	from := fs.String("from", "", "filter: earliest Record.Time, RFC 3339")
+	to := fs.String("to", "", "filter: latest Record.Time, RFC 3339")
+	limit := fs.Int("limit", 0, "scan: stop after N records (0 = all)")
+	format := fs.String("format", "jsonl", "scan output: jsonl or csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("-store is required")
+	}
+
+	q := rad.TraceQuery{Device: *device, Key: *key, Procedure: *proc, Run: *runLabel}
+	var err error
+	if q.From, err = parseTime(*from); err != nil {
+		return fmt.Errorf("-from: %w", err)
+	}
+	if q.To, err = parseTime(*to); err != nil {
+		return fmt.Errorf("-to: %w", err)
+	}
+
+	db, err := rad.OpenTraceDB(*storeDir, rad.TraceDBOptions{})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	switch *mode {
+	case "info":
+		return printInfo(out, db)
+	case "count":
+		return printCounts(out, db, *by, q)
+	case "runs":
+		for _, r := range db.Runs() {
+			fmt.Fprintln(out, r)
+		}
+		return nil
+	case "scan":
+		return printScan(out, db, q, *limit, *format)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+func parseTime(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	return time.Parse(time.RFC3339, s)
+}
+
+func printInfo(out io.Writer, db *rad.TraceDB) error {
+	fmt.Fprintf(out, "store:    %s\n", db.Dir())
+	fmt.Fprintf(out, "segments: %d\n", db.Segments())
+	fmt.Fprintf(out, "records:  %d\n", db.Len())
+	if first, last, ok := db.Span(); ok {
+		fmt.Fprintf(out, "span:     %s .. %s (%.1f days)\n",
+			first.UTC().Format(time.RFC3339), last.UTC().Format(time.RFC3339),
+			last.Sub(first).Hours()/24)
+	}
+	fmt.Fprintf(out, "runs:     %d supervised\n", len(db.Runs()))
+	return nil
+}
+
+// printCounts prints "count group" lines, largest first. Command and device
+// groupings come straight from the segment indexes; run and procedure
+// groupings are indexed scans.
+func printCounts(out io.Writer, db *rad.TraceDB, by string, q rad.TraceQuery) error {
+	counts := make(map[string]int)
+	switch by {
+	case "command":
+		counts = db.CountByCommand()
+	case "device":
+		counts = db.CountByDevice()
+	case "run", "procedure":
+		it := db.Scan(q)
+		for it.Next() {
+			r := it.Record()
+			if by == "run" {
+				if r.Run != "" {
+					counts[r.Run]++
+				}
+			} else {
+				counts[r.Procedure]++
+			}
+		}
+		if err := it.Err(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -by %q", by)
+	}
+	groups := make([]string, 0, len(counts))
+	for g := range counts {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if counts[groups[i]] != counts[groups[j]] {
+			return counts[groups[i]] > counts[groups[j]]
+		}
+		return groups[i] < groups[j]
+	})
+	for _, g := range groups {
+		fmt.Fprintf(out, "%8d  %s\n", counts[g], g)
+	}
+	return nil
+}
+
+func printScan(out io.Writer, db *rad.TraceDB, q rad.TraceQuery, limit int, format string) error {
+	var sink interface {
+		Append(rad.TraceRecord) error
+		Flush() error
+	}
+	switch format {
+	case "jsonl":
+		sink = rad.NewJSONLWriter(out)
+	case "csv":
+		sink = rad.NewCSVWriter(out)
+	default:
+		return fmt.Errorf("unknown -format %q", format)
+	}
+	n := 0
+	it := db.Scan(q)
+	for it.Next() {
+		if err := sink.Append(it.Record()); err != nil {
+			return err
+		}
+		n++
+		if limit > 0 && n >= limit {
+			break
+		}
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	return sink.Flush()
+}

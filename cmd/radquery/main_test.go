@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"rad"
+)
+
+// buildStore persists a small hand-made campaign and returns its directory.
+func buildStore(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := rad.OpenTraceDB(dir, rad.TraceDBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2022, 3, 1, 9, 0, 0, 0, time.UTC)
+	var recs []rad.TraceRecord
+	for i := 0; i < 40; i++ {
+		r := rad.TraceRecord{
+			Time: base.Add(time.Duration(i) * time.Minute), Device: "C9", Name: "MVNG",
+			Procedure: rad.UnknownProcedure, Mode: "REMOTE", Response: "ok",
+		}
+		r.EndTime = r.Time.Add(3 * time.Millisecond)
+		if i%4 == 0 {
+			r.Device, r.Name = "Tecan", "Q"
+		}
+		if i >= 30 {
+			r.Run, r.Procedure = "run-7", rad.ProcedureP1
+		}
+		recs = append(recs, r)
+	}
+	if err := db.AppendBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestQueryInfoCountRunsScan(t *testing.T) {
+	dir := buildStore(t)
+
+	var out bytes.Buffer
+	if err := run([]string{"-store", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	info := out.String()
+	for _, want := range []string{"records:  40", "segments: 1", "runs:     1 supervised"} {
+		if !strings.Contains(info, want) {
+			t.Errorf("info output missing %q:\n%s", want, info)
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-store", dir, "-mode", "count", "-by", "command"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	counts := out.String()
+	if !strings.Contains(counts, "30  C9.MVNG") || !strings.Contains(counts, "10  Tecan.Q") {
+		t.Errorf("count output wrong:\n%s", counts)
+	}
+
+	out.Reset()
+	if err := run([]string{"-store", dir, "-mode", "runs"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "run-7" {
+		t.Errorf("runs output = %q", out.String())
+	}
+
+	// Per-run extraction (the RQ1/Table I shape) as JSONL.
+	out.Reset()
+	if err := run([]string{"-store", dir, "-mode", "scan", "-run", "run-7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rad.ReadTraceJSONL(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("run-7 scan returned %d records, want 10", len(got))
+	}
+	for _, r := range got {
+		if r.Run != "run-7" {
+			t.Errorf("record %d leaked into run scan: %+v", r.Seq, r)
+		}
+	}
+
+	// Time-windowed CSV scan with a limit.
+	out.Reset()
+	if err := run([]string{
+		"-store", dir, "-mode", "scan", "-format", "csv",
+		"-from", "2022-03-01T09:10:00Z", "-to", "2022-03-01T09:20:00Z", "-limit", "5",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	fromCSV, err := rad.ReadTraceCSV(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromCSV) != 5 {
+		t.Fatalf("windowed scan returned %d records, want 5 (limit)", len(fromCSV))
+	}
+}
+
+func TestQueryCountByRunAndProcedure(t *testing.T) {
+	dir := buildStore(t)
+	var out bytes.Buffer
+	if err := run([]string{"-store", dir, "-mode", "count", "-by", "run"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "10  run-7") {
+		t.Errorf("count -by run wrong:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-store", dir, "-mode", "count", "-by", "procedure"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "30  "+rad.UnknownProcedure) ||
+		!strings.Contains(out.String(), "10  "+rad.ProcedureP1) {
+		t.Errorf("count -by procedure wrong:\n%s", out.String())
+	}
+}
+
+func TestQueryRejectsBadFlags(t *testing.T) {
+	dir := buildStore(t)
+	for name, args := range map[string][]string{
+		"no-store":   {"-mode", "info"},
+		"bad-mode":   {"-store", dir, "-mode", "explode"},
+		"bad-by":     {"-store", dir, "-mode", "count", "-by", "color"},
+		"bad-format": {"-store", dir, "-mode", "scan", "-format", "parquet"},
+		"bad-from":   {"-store", dir, "-from", "yesterday"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("%s: accepted %v", name, args)
+		}
+	}
+}

@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	radreplay -trace FILE.jsonl [-middlebox ADDR] [-device NAME] [-run LABEL] [-limit N]
+//	radreplay -trace FILE.jsonl | -store DIR [-middlebox ADDR] [-device NAME] [-run LABEL] [-limit N]
+//
+// The replay source is either a JSONL export (-trace) or a persistent
+// tracedb directory (-store), so a campaign persisted by radgen or a live
+// middlebox round-trips through the middlebox without an intermediate
+// export. Device/run filters are pushed down into the store's indexed scan.
 //
 // With no -middlebox, radreplay spins up an in-process middlebox over
 // loopback TCP with the requested network profile (-network lan|cloud|none),
@@ -38,7 +43,8 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("radreplay", flag.ContinueOnError)
-	tracePath := fs.String("trace", "", "JSONL trace to replay (required)")
+	tracePath := fs.String("trace", "", "JSONL trace to replay")
+	storeDir := fs.String("store", "", "tracedb directory to replay from (alternative to -trace)")
 	mbAddr := fs.String("middlebox", "", "middlebox address (empty = spin one up locally)")
 	network := fs.String("network", "cloud", "emulated network for the local middlebox: lan, cloud, none")
 	devFilter := fs.String("device", "", "replay only this device's commands")
@@ -47,36 +53,60 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *tracePath == "" {
-		return fmt.Errorf("-trace is required")
+	if (*tracePath == "") == (*storeDir == "") {
+		return fmt.Errorf("exactly one of -trace or -store is required")
 	}
 
-	f, err := os.Open(*tracePath)
-	if err != nil {
-		return err
-	}
-	records, err := rad.ReadTraceJSONL(f)
-	_ = f.Close()
-	if err != nil {
-		return err
-	}
-
-	// Filter and bound the replay set.
+	// Filter and bound the replay set. The tracedb path pushes the filters
+	// into the store's indexed scan; the JSONL path filters in memory.
 	var replaySet []rad.TraceRecord
-	for _, r := range records {
-		if *devFilter != "" && r.Device != *devFilter {
-			continue
+	total := 0
+	if *storeDir != "" {
+		db, err := rad.OpenTraceDB(*storeDir, rad.TraceDBOptions{})
+		if err != nil {
+			return err
 		}
-		if *runFilter != "" && r.Run != *runFilter {
-			continue
+		total = db.Len()
+		it := db.Scan(rad.TraceQuery{Device: *devFilter, Run: *runFilter})
+		for it.Next() {
+			replaySet = append(replaySet, it.Record())
+			if *limit > 0 && len(replaySet) >= *limit {
+				break
+			}
 		}
-		replaySet = append(replaySet, r)
-		if *limit > 0 && len(replaySet) >= *limit {
-			break
+		err = it.Err()
+		if cerr := db.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	} else {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		records, err := rad.ReadTraceJSONL(f)
+		_ = f.Close()
+		if err != nil {
+			return err
+		}
+		total = len(records)
+		for _, r := range records {
+			if *devFilter != "" && r.Device != *devFilter {
+				continue
+			}
+			if *runFilter != "" && r.Run != *runFilter {
+				continue
+			}
+			replaySet = append(replaySet, r)
+			if *limit > 0 && len(replaySet) >= *limit {
+				break
+			}
 		}
 	}
 	if len(replaySet) == 0 {
-		return fmt.Errorf("no records match the filters (trace has %d records)", len(records))
+		return fmt.Errorf("no records match the filters (trace has %d records)", total)
 	}
 
 	addr := *mbAddr
@@ -99,10 +129,11 @@ func run(args []string) error {
 		core.Register(tecan.New(device.NewEnv(clock, 4)))
 		core.Register(quantos.New(device.NewEnv(clock, 5)))
 		srv := rad.NewMiddleboxServer(core, profile, 1)
-		addr, err = srv.Start("127.0.0.1:0")
+		bound, err := srv.Start("127.0.0.1:0")
 		if err != nil {
 			return err
 		}
+		addr = bound
 		defer srv.Close()
 		fmt.Printf("local middlebox on %s (network=%s)\n", addr, *network)
 	}

@@ -38,9 +38,38 @@ func TestReplayEndToEnd(t *testing.T) {
 	}
 }
 
+// TestReplayFromTraceDB persists a small trace into a tracedb directory and
+// replays it from there — the persisted-campaign round trip.
+func TestReplayFromTraceDB(t *testing.T) {
+	lab, err := rad.NewVirtualLab(rad.VirtualLabConfig{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rad.RunJoystick(lab.Lab, rad.ProcedureOptions{Run: "j", Seed: 3}, 6)
+	dir := filepath.Join(t.TempDir(), "tracedb")
+	db, err := rad.OpenTraceDB(dir, rad.TraceDBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AppendBatch(lab.Sink.All()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = lab.Close()
+
+	if err := run([]string{"-store", dir, "-device", "C9", "-limit", "15", "-network", "none"}); err != nil {
+		t.Fatalf("replay from tracedb: %v", err)
+	}
+}
+
 func TestReplayRequiresTrace(t *testing.T) {
 	if err := run(nil); err == nil {
 		t.Error("missing -trace accepted")
+	}
+	if err := run([]string{"-trace", "x.jsonl", "-store", "d"}); err == nil {
+		t.Error("both -trace and -store accepted")
 	}
 }
 

@@ -1,0 +1,178 @@
+package tracedb
+
+import (
+	"math"
+
+	"rad/internal/store"
+)
+
+// blockMeta is one entry of a segment's sparse index: enough to locate,
+// verify, and time-prune a block without decoding it.
+type blockMeta struct {
+	off        int64 // file offset of the block's 8-byte header
+	payloadLen int32
+	crc        uint32
+	count      int32
+	minTimeN   int64 // min/max Record.Time over the block, UnixNano
+	maxTimeN   int64
+}
+
+// segmentIndex is the in-memory index of one segment, built block-by-block
+// at write time and rebuilt by the recovery scan on Open. Posting lists map
+// a filter value to the (sorted, deduplicated) indexes of the blocks that
+// contain at least one matching record, so an indexed scan touches only the
+// blocks that can match instead of the whole segment.
+type segmentIndex struct {
+	blocks   []blockMeta
+	byDevice map[string][]int32
+	byKey    map[string][]int32 // command type, Record.Key() = "Device.Name"
+	byRun    map[string][]int32
+	byProc   map[string][]int32
+
+	// Per-value record counts answer the distribution queries (Fig. 5a
+	// counts per command type / device) straight from the index.
+	deviceCounts map[string]int
+	keyCounts    map[string]int
+
+	count  int
+	maxSeq uint64
+}
+
+func newSegmentIndex() segmentIndex {
+	return segmentIndex{
+		byDevice:     make(map[string][]int32),
+		byKey:        make(map[string][]int32),
+		byRun:        make(map[string][]int32),
+		byProc:       make(map[string][]int32),
+		deviceCounts: make(map[string]int),
+		keyCounts:    make(map[string]int),
+	}
+}
+
+// addBlock indexes one committed block. recs must be the block's records in
+// on-disk order.
+func (ix *segmentIndex) addBlock(off int64, payloadLen int, crc uint32, recs []store.Record) {
+	bi := int32(len(ix.blocks))
+	m := blockMeta{off: off, payloadLen: int32(payloadLen), crc: crc, count: int32(len(recs))}
+	for i := range recs {
+		r := &recs[i]
+		n := r.Time.UnixNano()
+		if i == 0 || n < m.minTimeN {
+			m.minTimeN = n
+		}
+		if i == 0 || n > m.maxTimeN {
+			m.maxTimeN = n
+		}
+		post(ix.byDevice, r.Device, bi)
+		key := r.Key()
+		post(ix.byKey, key, bi)
+		if r.Run != "" {
+			post(ix.byRun, r.Run, bi)
+		}
+		post(ix.byProc, r.Procedure, bi)
+		ix.deviceCounts[r.Device]++
+		ix.keyCounts[key]++
+		if r.Seq > ix.maxSeq {
+			ix.maxSeq = r.Seq
+		}
+	}
+	ix.count += len(recs)
+	ix.blocks = append(ix.blocks, m)
+}
+
+// post appends bi to the posting list unless it is already the tail entry —
+// blocks are indexed in order, so the list stays sorted and deduplicated.
+func post(m map[string][]int32, k string, bi int32) {
+	l := m[k]
+	if len(l) > 0 && l[len(l)-1] == bi {
+		return
+	}
+	m[k] = append(m[k], bi)
+}
+
+// candidates returns copies of the block metas that can contain a record
+// matching q: the intersection of the posting lists of every set equality
+// filter, pruned by the per-block time bounds. A nil result means the
+// segment cannot match at all.
+func (ix *segmentIndex) candidates(q Query) []blockMeta {
+	var lists [][]int32
+	use := func(m map[string][]int32, k string) bool {
+		if k == "" {
+			return true
+		}
+		l, ok := m[k]
+		if !ok {
+			return false
+		}
+		lists = append(lists, l)
+		return true
+	}
+	if !use(ix.byDevice, q.Device) || !use(ix.byKey, q.Key) ||
+		!use(ix.byRun, q.Run) || !use(ix.byProc, q.Procedure) {
+		return nil
+	}
+
+	fromN, toN := q.timeBounds()
+	var out []blockMeta
+	emit := func(bi int32) {
+		m := ix.blocks[bi]
+		if m.maxTimeN < fromN || m.minTimeN > toN {
+			return
+		}
+		out = append(out, m)
+	}
+	if len(lists) == 0 {
+		for bi := range ix.blocks {
+			emit(int32(bi))
+		}
+		return out
+	}
+	ids := lists[0]
+	for _, l := range lists[1:] {
+		ids = intersect(ids, l)
+		if len(ids) == 0 {
+			return nil
+		}
+	}
+	for _, bi := range ids {
+		emit(bi)
+	}
+	return out
+}
+
+// intersect merges two sorted posting lists.
+func intersect(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// timeSpan returns the segment's overall [min, max] Record.Time bounds in
+// UnixNano, valid only when the segment holds records.
+func (ix *segmentIndex) timeSpan() (minN, maxN int64) {
+	minN, maxN = math.MaxInt64, math.MinInt64
+	for i := range ix.blocks {
+		if ix.blocks[i].count == 0 {
+			continue
+		}
+		if ix.blocks[i].minTimeN < minN {
+			minN = ix.blocks[i].minTimeN
+		}
+		if ix.blocks[i].maxTimeN > maxN {
+			maxN = ix.blocks[i].maxTimeN
+		}
+	}
+	return minN, maxN
+}

@@ -1,0 +1,290 @@
+package tracedb
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"rad/internal/parallel"
+	"rad/internal/store"
+)
+
+// Query selects records. The zero value matches everything; every set field
+// must match (conjunction). Time bounds are inclusive on both ends and
+// compare against Record.Time; a zero From or To leaves that end unbounded.
+// These are exactly the query shapes the analyses consume: time-range,
+// per-device, per-command-type, and per-procedure/per-run slices.
+type Query struct {
+	From, To  time.Time
+	Device    string
+	Key       string // command type, Record.Key() = "Device.Name"
+	Procedure string
+	Run       string
+}
+
+// Match reports whether r satisfies the query — the same predicate the
+// indexed scan applies, exported so in-memory stores can run the identical
+// filter (the query-parity contract with store.MemStore).
+func (q Query) Match(r store.Record) bool {
+	if q.Device != "" && r.Device != q.Device {
+		return false
+	}
+	if q.Key != "" && r.Key() != q.Key {
+		return false
+	}
+	if q.Procedure != "" && r.Procedure != q.Procedure {
+		return false
+	}
+	if q.Run != "" && r.Run != q.Run {
+		return false
+	}
+	if !q.From.IsZero() && r.Time.Before(q.From) {
+		return false
+	}
+	if !q.To.IsZero() && r.Time.After(q.To) {
+		return false
+	}
+	return true
+}
+
+// timeBounds returns the query's time window in UnixNano with open ends
+// widened to the full int64 range, for block pruning.
+func (q Query) timeBounds() (fromN, toN int64) {
+	fromN, toN = math.MinInt64, math.MaxInt64
+	if !q.From.IsZero() {
+		fromN = q.From.UnixNano()
+	}
+	if !q.To.IsZero() {
+		toN = q.To.UnixNano()
+	}
+	return fromN, toN
+}
+
+// segPlan is one segment's share of a snapshot scan plan: the candidate
+// blocks selected by the index at snapshot time.
+type segPlan struct {
+	seg    *segment
+	blocks []blockMeta
+}
+
+// plan snapshots the scan state for q under the read lock: per-segment
+// candidate blocks plus the matching staged records. Blocks committed after
+// the snapshot are not seen — iterators read a consistent prefix even while
+// ingest continues.
+func (db *DB) plan(q Query) (plans []segPlan, tail []store.Record) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, s := range db.segs {
+		if s.index.count == 0 {
+			continue
+		}
+		if blocks := s.index.candidates(q); len(blocks) > 0 {
+			plans = append(plans, segPlan{seg: s, blocks: blocks})
+		}
+	}
+	for i := range db.pending {
+		if q.Match(db.pending[i]) {
+			tail = append(tail, db.pending[i])
+		}
+	}
+	return plans, tail
+}
+
+// Iterator streams the records matching a query in sequence order. It is
+// not safe for concurrent use, but any number of iterators may run
+// concurrently with each other and with the writer.
+type Iterator struct {
+	q     Query
+	plans []segPlan
+	tail  []store.Record
+	si    int // current segment plan
+	bi    int // next block within it
+	cur   []store.Record
+	ci    int
+	rec   store.Record
+	err   error
+}
+
+// Scan returns an iterator over the records matching q at snapshot time, in
+// sequence order. The candidate blocks are selected from the per-segment
+// indexes; non-matching blocks are never read or decoded.
+func (db *DB) Scan(q Query) *Iterator {
+	plans, tail := db.plan(q)
+	return &Iterator{q: q, plans: plans, tail: tail}
+}
+
+// Next advances to the next matching record, reporting whether one exists.
+// It returns false once the snapshot is exhausted or a read error occurred.
+func (it *Iterator) Next() bool {
+	if it.err != nil {
+		return false
+	}
+	for {
+		if it.ci < len(it.cur) {
+			it.rec = it.cur[it.ci]
+			it.ci++
+			return true
+		}
+		if it.si >= len(it.plans) {
+			if len(it.tail) > 0 {
+				it.cur, it.ci = it.tail, 0
+				it.tail = nil
+				continue
+			}
+			return false
+		}
+		p := it.plans[it.si]
+		if it.bi >= len(p.blocks) {
+			it.si++
+			it.bi = 0
+			continue
+		}
+		m := p.blocks[it.bi]
+		it.bi++
+		recs, err := p.seg.readBlock(m)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		k := 0
+		for i := range recs {
+			if it.q.Match(recs[i]) {
+				recs[k] = recs[i]
+				k++
+			}
+		}
+		it.cur, it.ci = recs[:k], 0
+	}
+}
+
+// Record returns the record positioned by the last successful Next.
+func (it *Iterator) Record() store.Record { return it.rec }
+
+// Err returns the first read error the iterator encountered, if any.
+func (it *Iterator) Err() error { return it.err }
+
+// Collect materializes the records matching q in sequence order, fanning
+// the block reads out across segments on the shared worker pool. The result
+// is identical to draining Scan(q) at the same snapshot.
+func (db *DB) Collect(q Query) ([]store.Record, error) {
+	plans, tail := db.plan(q)
+	per, err := parallel.Map(plans, 0, func(_ int, p segPlan) ([]store.Record, error) {
+		var out []store.Record
+		for _, m := range p.blocks {
+			recs, err := p.seg.readBlock(m)
+			if err != nil {
+				return nil, err
+			}
+			for i := range recs {
+				if q.Match(recs[i]) {
+					out = append(out, recs[i])
+				}
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := len(tail)
+	for _, s := range per {
+		total += len(s)
+	}
+	out := make([]store.Record, 0, total)
+	for _, s := range per {
+		out = append(out, s...)
+	}
+	return append(out, tail...), nil
+}
+
+// CountByCommand returns the number of records per command type
+// ("Device.Name") — the Fig. 5(a) distribution — answered from the
+// per-segment indexes without touching the record blocks.
+func (db *DB) CountByCommand() map[string]int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	m := make(map[string]int)
+	for _, s := range db.segs {
+		for k, n := range s.index.keyCounts {
+			m[k] += n
+		}
+	}
+	for i := range db.pending {
+		m[db.pending[i].Key()]++
+	}
+	return m
+}
+
+// CountByDevice returns the number of records per device, answered from the
+// per-segment indexes.
+func (db *DB) CountByDevice() map[string]int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	m := make(map[string]int)
+	for _, s := range db.segs {
+		for k, n := range s.index.deviceCounts {
+			m[k] += n
+		}
+	}
+	for i := range db.pending {
+		m[db.pending[i].Device]++
+	}
+	return m
+}
+
+// Runs returns the distinct supervised run identifiers, sorted — the keys
+// of the per-segment run posting lists.
+func (db *DB) Runs() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	set := make(map[string]bool)
+	for _, s := range db.segs {
+		for run := range s.index.byRun {
+			set[run] = true
+		}
+	}
+	for i := range db.pending {
+		if db.pending[i].Run != "" {
+			set[db.pending[i].Run] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for run := range set {
+		out = append(out, run)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Span returns the earliest and latest Record.Time in the store; ok is
+// false when the store is empty.
+func (db *DB) Span() (first, last time.Time, ok bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	minN, maxN := int64(math.MaxInt64), int64(math.MinInt64)
+	for _, s := range db.segs {
+		if s.index.count == 0 {
+			continue
+		}
+		lo, hi := s.index.timeSpan()
+		if lo < minN {
+			minN = lo
+		}
+		if hi > maxN {
+			maxN = hi
+		}
+	}
+	for i := range db.pending {
+		n := db.pending[i].Time.UnixNano()
+		if n < minN {
+			minN = n
+		}
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if minN > maxN {
+		return time.Time{}, time.Time{}, false
+	}
+	return time.Unix(0, minN), time.Unix(0, maxN), true
+}

@@ -1,0 +1,169 @@
+package tracedb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"rad/internal/store"
+)
+
+// segment is one append-only on-disk file of record blocks plus its
+// in-memory index. The writer appends blocks at the committed tail with
+// WriteAt; readers use ReadAt at offsets below the committed size, so
+// concurrent reads never race the writer.
+type segment struct {
+	id    int
+	path  string
+	f     *os.File
+	size  int64 // committed bytes, including the magic header
+	index segmentIndex
+}
+
+// segmentPath returns the file name of segment id inside dir.
+func segmentPath(dir string, id int) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%08d.seg", id))
+}
+
+// parseSegmentID extracts the id from a segment file name, reporting whether
+// the name matches the seg-%08d.seg pattern.
+func parseSegmentID(name string) (int, bool) {
+	var id int
+	if _, err := fmt.Sscanf(name, "seg-%d.seg", &id); err != nil {
+		return 0, false
+	}
+	return id, fmt.Sprintf("seg-%08d.seg", id) == name
+}
+
+// createSegment creates a fresh segment file and writes its magic header.
+func createSegment(dir string, id int) (*segment, error) {
+	path := segmentPath(dir, id)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("tracedb: create segment: %w", err)
+	}
+	if _, err := f.WriteAt([]byte(segMagic), 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tracedb: write segment header: %w", err)
+	}
+	return &segment{
+		id: id, path: path, f: f,
+		size:  int64(len(segMagic)),
+		index: newSegmentIndex(),
+	}, nil
+}
+
+// openSegment opens an existing segment file and recovers it: it scans the
+// blocks in order, verifying each length and CRC32C and decoding each
+// payload, stops at the first torn or corrupted block, truncates the file
+// there, and rebuilds the in-memory index from the surviving blocks. A file
+// with a missing or damaged magic header holds no committed records and is
+// reset to an empty segment.
+func openSegment(path string, id int) (*segment, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("tracedb: open segment: %w", err)
+	}
+	s := &segment{id: id, path: path, f: f, index: newSegmentIndex()}
+
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tracedb: stat segment: %w", err)
+	}
+	fileSize := st.Size()
+
+	hdr := make([]byte, len(segMagic))
+	if _, err := f.ReadAt(hdr, 0); err != nil || string(hdr) != segMagic {
+		// Torn before the header finished: nothing was committed. Reset the
+		// file to a valid empty segment.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("tracedb: reset torn segment: %w", err)
+		}
+		if _, err := f.WriteAt([]byte(segMagic), 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("tracedb: rewrite segment header: %w", err)
+		}
+		s.size = int64(len(segMagic))
+		return s, nil
+	}
+
+	off := int64(len(segMagic))
+	var bh [blockHeaderSize]byte
+	for {
+		if off+blockHeaderSize > fileSize {
+			break // torn inside a block header
+		}
+		if _, err := f.ReadAt(bh[:], off); err != nil {
+			break
+		}
+		payloadLen := int64(binary.BigEndian.Uint32(bh[0:4]))
+		wantCRC := binary.BigEndian.Uint32(bh[4:8])
+		if payloadLen == 0 || payloadLen > MaxBlockBytes {
+			break // corrupted length field
+		}
+		if off+blockHeaderSize+payloadLen > fileSize {
+			break // torn inside the payload
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := f.ReadAt(payload, off+blockHeaderSize); err != nil {
+			break
+		}
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			break // corrupted payload
+		}
+		recs, err := decodePayload(payload)
+		if err != nil {
+			break // checksum collision with a structurally broken payload
+		}
+		s.index.addBlock(off, int(payloadLen), wantCRC, recs)
+		off += blockHeaderSize + payloadLen
+	}
+	if off < fileSize {
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("tracedb: truncate torn tail: %w", err)
+		}
+	}
+	s.size = off
+	return s, nil
+}
+
+// appendBlock writes recs (whose canonical payload encoding is payload) as
+// one checksummed block at the committed tail. The committed size and index
+// advance only after the whole frame is on the file, so a failed or partial
+// write leaves the committed state untouched and the next Open truncates
+// the debris.
+func (s *segment) appendBlock(payload []byte, recs []store.Record) error {
+	frame := make([]byte, blockHeaderSize+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	crc := crc32.Checksum(payload, castagnoli)
+	binary.BigEndian.PutUint32(frame[4:8], crc)
+	copy(frame[blockHeaderSize:], payload)
+	if _, err := s.f.WriteAt(frame, s.size); err != nil {
+		return fmt.Errorf("tracedb: append block: %w", err)
+	}
+	s.index.addBlock(s.size, len(payload), crc, recs)
+	s.size += int64(len(frame))
+	return nil
+}
+
+// readBlock reads one committed block, re-verifies its checksum against the
+// indexed CRC, and decodes its records.
+func (s *segment) readBlock(m blockMeta) ([]store.Record, error) {
+	payload := make([]byte, m.payloadLen)
+	if _, err := s.f.ReadAt(payload, m.off+blockHeaderSize); err != nil {
+		return nil, fmt.Errorf("tracedb: read block at %d: %w", m.off, err)
+	}
+	if crc32.Checksum(payload, castagnoli) != m.crc {
+		return nil, fmt.Errorf("tracedb: block at %d: checksum mismatch", m.off)
+	}
+	recs, err := decodePayload(payload)
+	if err != nil {
+		return nil, fmt.Errorf("tracedb: block at %d: %w", m.off, err)
+	}
+	return recs, nil
+}

@@ -1,0 +1,276 @@
+package tracedb
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"rad/internal/parallel"
+	"rad/internal/store"
+)
+
+// Options tunes a DB. The zero value selects the defaults.
+type Options struct {
+	// SegmentBytes is the size threshold at which the active segment is
+	// rotated; a block never spans segments, so a segment may exceed the
+	// threshold by at most one block. Defaults to DefaultSegmentBytes.
+	SegmentBytes int64
+	// BlockRecords is the number of per-record Append calls staged before
+	// they are automatically flushed as one block. Defaults to
+	// store.DefaultBatchSize. AppendBatch always lands as its own block
+	// (the store.Batcher flush boundary) regardless of this setting.
+	BlockRecords int
+}
+
+// DefaultSegmentBytes is the default segment rotation threshold.
+const DefaultSegmentBytes = 4 << 20
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("tracedb: database is closed")
+
+// DB is an embedded, persistent trace store. It implements store.Sink and
+// store.BatchSink, assigning sequence numbers exactly like MemStore, so it
+// drops in as the middlebox's primary sink. One writer and any number of
+// concurrent readers are safe; readers observe a consistent snapshot taken
+// at Scan/Collect time (committed blocks plus the staged per-record
+// appends).
+type DB struct {
+	dir  string
+	opts Options
+
+	mu      sync.RWMutex
+	segs    []*segment
+	pending []store.Record // staged per-record appends, not yet in a block
+	encBuf  []byte         // reusable payload encode buffer (writer-only)
+	nextSeq uint64
+	closed  bool
+}
+
+var (
+	_ store.Sink      = (*DB)(nil)
+	_ store.BatchSink = (*DB)(nil)
+)
+
+// Open opens (or creates) the store in dir, recovering every segment:
+// blocks are CRC-verified in parallel across segments, a torn tail is
+// truncated, and sequence numbering resumes after the highest recovered
+// record.
+func Open(dir string, opts Options) (*DB, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.BlockRecords <= 0 {
+		opts.BlockRecords = store.DefaultBatchSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tracedb: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("tracedb: %w", err)
+	}
+	var ids []int
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if id, ok := parseSegmentID(e.Name()); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+
+	segs, err := parallel.Map(ids, 0, func(_ int, id int) (*segment, error) {
+		return openSegment(segmentPath(dir, id), id)
+	})
+	if err != nil {
+		for _, s := range segs {
+			if s != nil {
+				s.f.Close()
+			}
+		}
+		return nil, err
+	}
+
+	db := &DB{dir: dir, opts: opts, segs: segs}
+	for _, s := range segs {
+		if s.index.count > 0 && s.index.maxSeq+1 > db.nextSeq {
+			db.nextSeq = s.index.maxSeq + 1
+		}
+	}
+	if len(db.segs) == 0 {
+		s, err := createSegment(dir, 0)
+		if err != nil {
+			return nil, err
+		}
+		db.segs = append(db.segs, s)
+	}
+	return db, nil
+}
+
+// Dir returns the store's directory.
+func (db *DB) Dir() string { return db.dir }
+
+// Append assigns the next sequence number and stages the record; staged
+// records are flushed as one block every Options.BlockRecords appends, on
+// Flush, or on Close. Staged records are already visible to readers.
+func (db *DB) Append(r store.Record) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	r.Seq = db.nextSeq
+	db.nextSeq++
+	db.pending = append(db.pending, r)
+	if len(db.pending) >= db.opts.BlockRecords {
+		return db.flushLocked()
+	}
+	return nil
+}
+
+// AppendBatch assigns consecutive sequence numbers in slice order and writes
+// the whole batch as one block — the store.Batcher flush boundary maps 1:1
+// onto on-disk blocks. Any staged per-record appends are flushed first so
+// sequence order and storage order agree.
+func (db *DB) AppendBatch(recs []store.Record) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.flushLocked(); err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	block := make([]store.Record, len(recs))
+	copy(block, recs)
+	for i := range block {
+		block[i].Seq = db.nextSeq
+		db.nextSeq++
+	}
+	return db.appendBlockLocked(block)
+}
+
+// Flush writes any staged per-record appends to disk as one block.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.flushLocked()
+}
+
+// Sync flushes staged records and fsyncs every segment file.
+func (db *DB) Sync() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.flushLocked(); err != nil {
+		return err
+	}
+	for _, s := range db.segs {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("tracedb: sync %s: %w", s.path, err)
+		}
+	}
+	return nil
+}
+
+// Close flushes staged records, syncs, and closes every segment file.
+// Further operations return ErrClosed.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	first := db.flushLocked()
+	for _, s := range db.segs {
+		if err := s.f.Sync(); err != nil && first == nil {
+			first = fmt.Errorf("tracedb: sync %s: %w", s.path, err)
+		}
+		if err := s.f.Close(); err != nil && first == nil {
+			first = fmt.Errorf("tracedb: close %s: %w", s.path, err)
+		}
+	}
+	db.closed = true
+	return first
+}
+
+// flushLocked writes the staged records as one block. On success the staging
+// buffer is reset; on failure it is kept so no acknowledged record is
+// silently dropped before the caller sees the error.
+func (db *DB) flushLocked() error {
+	if len(db.pending) == 0 {
+		return nil
+	}
+	if err := db.appendBlockLocked(db.pending); err != nil {
+		return err
+	}
+	db.pending = db.pending[:0]
+	return nil
+}
+
+// appendBlockLocked writes recs (sequence numbers already assigned) as one
+// block, rotating the active segment at the size threshold and splitting
+// batches whose payload would exceed the soft block cap.
+func (db *DB) appendBlockLocked(recs []store.Record) error {
+	start, sz := 0, 0
+	for i := range recs {
+		rs := recordSizeEstimate(recs[i])
+		if sz+rs > targetBlockBytes && i > start {
+			if err := db.writeOneBlockLocked(recs[start:i]); err != nil {
+				return err
+			}
+			start, sz = i, 0
+		}
+		sz += rs
+	}
+	return db.writeOneBlockLocked(recs[start:])
+}
+
+func (db *DB) writeOneBlockLocked(recs []store.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	active := db.segs[len(db.segs)-1]
+	if active.size >= db.opts.SegmentBytes && active.index.count > 0 {
+		if err := active.f.Sync(); err != nil {
+			return fmt.Errorf("tracedb: sync rotated segment: %w", err)
+		}
+		next, err := createSegment(db.dir, active.id+1)
+		if err != nil {
+			return err
+		}
+		db.segs = append(db.segs, next)
+		active = next
+	}
+	db.encBuf = encodePayload(db.encBuf[:0], recs)
+	return active.appendBlock(db.encBuf, recs)
+}
+
+// Len returns the number of records in the store, staged ones included.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := len(db.pending)
+	for _, s := range db.segs {
+		n += s.index.count
+	}
+	return n
+}
+
+// Segments returns the number of on-disk segment files.
+func (db *DB) Segments() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.segs)
+}

@@ -17,6 +17,7 @@ import (
 	dataset "rad/internal/rad"
 	"rad/internal/simclock"
 	"rad/internal/store"
+	"rad/internal/tracedb"
 	"rad/internal/tracer"
 	"rad/internal/wire"
 )
@@ -151,8 +152,34 @@ var (
 	ReadTraceJSONL = store.ReadJSONL
 )
 
+// NewTraceBatcher wraps a sink with a flush-bounded staging buffer; each
+// flush reaches the sink as one batch (and lands in a TraceDB as one block).
+var NewTraceBatcher = store.NewBatcher
+
 // UnknownProcedure labels all unsupervised commands (§IV).
 const UnknownProcedure = store.UnknownProcedure
+
+// --- Persistent trace storage (internal/tracedb) ---
+
+// TraceDB is the persistent, indexed, crash-safe embedded trace store — the
+// durable stand-in for RATracer's MongoDB instance. It implements TraceSink,
+// so the middlebox logs straight to it; reopen the directory to query a
+// campaign without regenerating it.
+type TraceDB = tracedb.DB
+
+// TraceDBOptions tunes segment rotation and the per-record staging size.
+type TraceDBOptions = tracedb.Options
+
+// TraceQuery selects records by time range, device, command type,
+// procedure, and run — the analyses' query shapes.
+type TraceQuery = tracedb.Query
+
+// TraceIterator streams a TraceDB scan in sequence order.
+type TraceIterator = tracedb.Iterator
+
+// OpenTraceDB opens (or creates) a trace store directory, recovering and
+// truncating any torn tail left by a crash.
+var OpenTraceDB = tracedb.Open
 
 // --- The virtual lab and procedures ---
 
