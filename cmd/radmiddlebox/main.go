@@ -6,11 +6,18 @@
 //
 // Usage:
 //
-//	radmiddlebox [-listen ADDR] [-store DIR] [-trace FILE.jsonl] [-csv FILE.csv] [-network lan|cloud|none] [-power]
+//	radmiddlebox [-listen ADDR] [-store DIR] [-trace FILE.jsonl] [-csv FILE.csv] [-network lan|cloud|none] [-power] [-stream ADDR]
 //
 // Stop with SIGINT/SIGTERM; traces are flushed on shutdown. A -store
 // directory survives crashes (torn tails are truncated on reopen) and is
 // queryable with radquery while the middlebox is down.
+//
+// -stream opens a second listener serving the live trace feed (tail it with
+// radwatch, or radquery -follow): every committed record fans out to
+// connected subscribers through per-connection bounded rings, and with
+// -store set, new subscribers can replay the whole store before going live
+// (snapshot-then-follow). Per-subscriber delivery counters appear in the
+// shutdown summary.
 package main
 
 import (
@@ -54,6 +61,7 @@ func run(args []string, stop <-chan struct{}) error {
 	csvPath := fs.String("csv", "", "additional CSV trace log ('' disables)")
 	network := fs.String("network", "lan", "emulated network profile: lan, cloud, or none")
 	withPower := fs.Bool("power", true, "attach the UR3e power monitor")
+	streamAddr := fs.String("stream", "", "live-stream listen address ('' disables)")
 	seed := fs.Uint64("seed", 1, "device simulation seed")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,11 +115,39 @@ func run(args []string, stop <-chan struct{}) error {
 	}
 
 	clock := rad.RealClock{}
-	core := rad.NewMiddlebox(clock, tee(sinks))
+	// The tee forwards commit notifications from its sequencing sink (the
+	// tracedb when present, else the memory store) so an attached broker
+	// publishes records with their authoritative sequence numbers.
+	var seqSink rad.TraceSink = mem
+	if tdb != nil {
+		seqSink = tdb
+	}
+	core := rad.NewMiddlebox(clock, &teeSink{sinks: sinks, seq: seqSink})
 
 	var monitor *power.Monitor
 	if *withPower {
 		monitor = power.NewMonitor(power.DefaultModel(), clock, *seed^0x5bf0)
+	}
+
+	var broker *rad.Broker
+	var streamSrv *rad.StreamServer
+	if *streamAddr != "" {
+		broker = rad.NewBroker()
+		core.AttachBroker(broker)
+		if monitor != nil {
+			stopBridge := broker.AttachMonitor(monitor, 256)
+			defer stopBridge()
+		}
+		streamSrv = rad.NewStreamServer(broker, tdb)
+		saddr, err := streamSrv.Start(*streamAddr)
+		if err != nil {
+			return err
+		}
+		defer streamSrv.Close()
+		fmt.Printf("stream listening on %s\n", saddr)
+		if streamReady != nil {
+			streamReady <- saddr
+		}
 	}
 	core.Register(c9.New(device.NewEnv(clock, *seed+1)))
 	core.Register(ur3e.New(device.NewEnv(clock, *seed+2), monitor))
@@ -141,6 +177,21 @@ func run(args []string, stop <-chan struct{}) error {
 	stats := core.Snapshot()
 	fmt.Printf("\nshut down: %d execs, %d trace uploads, %d pings, %d errors; %d records logged\n",
 		stats.Execs, stats.Traces, stats.Pings, stats.Errors, mem.Len())
+	if streamSrv != nil {
+		if err := streamSrv.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("stream: %d records published, %d subscribers at shutdown\n",
+			broker.Published(), len(stats.Subscribers))
+		for _, s := range stats.Subscribers {
+			lag := ""
+			if s.Lagging {
+				lag = " (lagging)"
+			}
+			fmt.Printf("  %-24s delivered %d, dropped %d, buffered %d/%d%s\n",
+				s.Name, s.Delivered, s.Dropped, s.Buffered, s.Capacity, lag)
+		}
+	}
 	if tdb != nil {
 		if err := tdb.Flush(); err != nil {
 			return err
@@ -154,20 +205,34 @@ func run(args []string, stop <-chan struct{}) error {
 	return nil
 }
 
-// listenReady, when set by a test, receives the bound address once the
-// server is listening.
-var listenReady chan string
+// listenReady and streamReady, when set by a test, receive the bound
+// addresses once the respective listeners are up.
+var (
+	listenReady chan string
+	streamReady chan string
+)
 
-// tee fans records to all sinks.
-type teeSink []rad.TraceSink
+// teeSink fans records to all sinks and forwards commit notifications from
+// its designated sequencing sink, so Middlebox.AttachBroker sees a
+// TraceNotifier and wires the broker to authoritative sequence numbers.
+type teeSink struct {
+	sinks []rad.TraceSink
+	seq   rad.TraceSink
+}
 
-func tee(sinks []rad.TraceSink) rad.TraceSink { return teeSink(sinks) }
-
-func (t teeSink) Append(r rad.TraceRecord) error {
-	for _, s := range t {
+func (t *teeSink) Append(r rad.TraceRecord) error {
+	for _, s := range t.sinks {
 		if err := s.Append(r); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// SetOnCommit implements rad.TraceNotifier by delegating to the sequencing
+// sink.
+func (t *teeSink) SetOnCommit(fn func([]rad.TraceRecord)) {
+	if n, ok := t.seq.(rad.TraceNotifier); ok {
+		n.SetOnCommit(fn)
+	}
 }

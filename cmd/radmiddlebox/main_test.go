@@ -111,6 +111,86 @@ func TestMiddleboxServesAndFlushes(t *testing.T) {
 	}
 }
 
+// TestMiddleboxStreamsLive boots the CLI with -stream, tails the listener
+// while a client drives commands, and checks the watcher sees every record
+// with the store's sequence numbers.
+func TestMiddleboxStreamsLive(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "tracedb")
+
+	listenReady = make(chan string, 1)
+	streamReady = make(chan string, 1)
+	defer func() { listenReady, streamReady = nil, nil }()
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0", "-stream", "127.0.0.1:0",
+			"-store", storeDir, "-trace", "", "-network", "none",
+		}, stop)
+	}()
+
+	var addr, streamAddr string
+	for i := 0; i < 2; i++ {
+		select {
+		case addr = <-listenReady:
+		case streamAddr = <-streamReady:
+		case err := <-done:
+			t.Fatalf("server exited early: %v", err)
+		case <-time.After(5 * time.Second):
+			t.Fatal("server never came up")
+		}
+	}
+
+	watcher, err := rad.DialStream(streamAddr, rad.StreamSubscribe{
+		Name: "test-watcher", Policy: rad.StreamPolicyBlock, Buffer: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer watcher.Close()
+
+	transport, err := rad.DialMiddlebox(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := rad.NewTracingSession(transport, rad.RealClock{}, rad.TracingConfig{DefaultMode: rad.ModeRemote})
+	dev, err := sess.Virtual(rad.DeviceC9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{device.Init, "MVNG", "MVNG"} {
+		if _, err := dev.Exec(rad.Command{Name: name}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = sess.Close()
+
+	// The watcher receives the three commands with tracedb's seq numbering.
+	for want := uint64(0); want < 3; want++ {
+		ev, err := watcher.Recv()
+		if err != nil {
+			t.Fatalf("stream recv %d: %v", want, err)
+		}
+		if ev.Kind != rad.StreamEventTrace {
+			t.Fatalf("event %d kind %q", want, ev.Kind)
+		}
+		if ev.Record.Seq != want || ev.Record.Device != rad.DeviceC9 {
+			t.Errorf("event %d: seq %d device %s", want, ev.Record.Seq, ev.Record.Device)
+		}
+	}
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never shut down")
+	}
+}
+
 func TestMiddleboxRejectsBadNetwork(t *testing.T) {
 	stop := make(chan struct{})
 	close(stop)

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	radquery -store DIR [-mode info|count|runs|scan] [filters]
+//	radquery -follow -addr HOST:PORT [filters]
 //
 // Modes:
 //
@@ -18,6 +19,12 @@
 //
 // Filters (scan, and count for run/procedure groupings): -device, -key,
 // -proc, -run, -from/-to (RFC 3339), -limit.
+//
+// -follow turns a scan into a live tail against a running middlebox's
+// -stream listener: the middlebox replays every matching record already in
+// its store (snapshot-then-follow, gap-free), then keeps streaming new ones
+// as they commit — the same subscriber radwatch uses. -store is not needed;
+// the middlebox reads its own.
 package main
 
 import (
@@ -51,8 +58,20 @@ func run(args []string, out io.Writer) error {
 	to := fs.String("to", "", "filter: latest Record.Time, RFC 3339")
 	limit := fs.Int("limit", 0, "scan: stop after N records (0 = all)")
 	format := fs.String("format", "jsonl", "scan output: jsonl or csv")
+	follow := fs.Bool("follow", false, "live-tail a running middlebox instead of reading a store")
+	addr := fs.String("addr", "", "follow: the middlebox's -stream listener address")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *follow {
+		if *addr == "" {
+			return fmt.Errorf("-follow requires -addr")
+		}
+		return followScan(out, *addr, rad.StreamSubscribe{
+			Name:   "radquery",
+			Device: *device, Key: *key, Procedure: *proc, Run: *runLabel,
+			Snapshot: true,
+		}, *limit, *format)
 	}
 	if *storeDir == "" {
 		return fmt.Errorf("-store is required")
@@ -152,6 +171,49 @@ func printCounts(out io.Writer, db *rad.TraceDB, by string, q rad.TraceQuery) er
 		fmt.Fprintf(out, "%8d  %s\n", counts[g], g)
 	}
 	return nil
+}
+
+// followScan is the -follow path: a snapshot-then-follow tail over the
+// middlebox's stream listener, rendered with the same sinks as a local scan.
+// It runs until the limit is reached or the middlebox closes the stream.
+func followScan(out io.Writer, addr string, req rad.StreamSubscribe, limit int, format string) error {
+	var sink interface {
+		Append(rad.TraceRecord) error
+		Flush() error
+	}
+	switch format {
+	case "jsonl":
+		sink = rad.NewJSONLWriter(out)
+	case "csv":
+		sink = rad.NewCSVWriter(out)
+	default:
+		return fmt.Errorf("unknown -format %q", format)
+	}
+
+	client, err := rad.DialStream(addr, req)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	n := 0
+	for limit <= 0 || n < limit {
+		ev, err := client.Recv()
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			return err
+		}
+		if ev.Kind != rad.StreamEventTrace {
+			continue
+		}
+		if err := sink.Append(*ev.Record); err != nil {
+			return err
+		}
+		n++
+	}
+	return sink.Flush()
 }
 
 func printScan(out io.Writer, db *rad.TraceDB, q rad.TraceQuery, limit int, format string) error {

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rad"
+)
+
+// startStream serves a broker (with optional snapshot store) for the CLI to
+// dial.
+func startStream(t *testing.T, db *rad.TraceDB) (*rad.Broker, string) {
+	t.Helper()
+	broker := rad.NewBroker()
+	srv := rad.NewStreamServer(broker, db)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); broker.Close() })
+	return broker, addr
+}
+
+func publishUntil(t *testing.T, broker *rad.Broker, stop chan struct{}) {
+	t.Helper()
+	go func() {
+		var seq uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			broker.Publish(rad.TraceRecord{Seq: seq, Device: "C9", Name: "MVNG",
+				Time: time.Unix(int64(seq), 0), Run: "r1"})
+			seq++
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+func TestWatchLiveTailText(t *testing.T) {
+	broker, addr := startStream(t, nil)
+	stop := make(chan struct{})
+	defer close(stop)
+	publishUntil(t, broker, stop)
+
+	var out bytes.Buffer
+	err := run([]string{"-addr", addr, "-limit", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("printed %d lines, want 3:\n%s", len(lines), out.String())
+	}
+	if !strings.Contains(lines[0], "C9.MVNG") {
+		t.Errorf("line lacks command key: %q", lines[0])
+	}
+}
+
+func TestWatchJSONLOutput(t *testing.T) {
+	broker, addr := startStream(t, nil)
+	stop := make(chan struct{})
+	defer close(stop)
+	publishUntil(t, broker, stop)
+
+	var out bytes.Buffer
+	if err := run([]string{"-addr", addr, "-limit", "2", "-format", "jsonl"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := rad.ReadTraceJSONL(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records, want 2", len(recs))
+	}
+}
+
+func TestWatchSnapshotReplaysStore(t *testing.T) {
+	dir := t.TempDir()
+	db, err := rad.OpenTraceDB(dir, rad.TraceDBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 5; i++ {
+		if err := db.Append(rad.TraceRecord{Device: "UR3e", Name: "movej"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	broker, addr := startStream(t, db)
+	broker.AttachStore(db)
+
+	var out bytes.Buffer
+	if err := run([]string{"-addr", addr, "-snapshot", "-limit", "5", "-format", "jsonl"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := rad.ReadTraceJSONL(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("snapshot replayed %d records, want 5", len(recs))
+	}
+}
+
+func TestWatchIDSEmitsAlerts(t *testing.T) {
+	// Train on a repetitive benign run, then stream commands the model has
+	// never seen: the online IDS must emit perplexity alerts as JSONL.
+	trainPath := filepath.Join(t.TempDir(), "train.jsonl")
+	f, err := os.Create(trainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := rad.NewJSONLWriter(f)
+	pattern := []string{"HOME", "MVNG", "GRIP", "RLSE"}
+	for i := 0; i < 80; i++ {
+		if err := w.Append(rad.TraceRecord{Device: "C9", Name: pattern[i%len(pattern)], Run: "benign"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	broker, addr := startStream(t, nil)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		weird := []string{"ZAP", "QUX", "ZAP", "BLORT"}
+		var seq uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			broker.Publish(rad.TraceRecord{Seq: seq, Device: "C9", Name: weird[seq%4]})
+			seq++
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var out bytes.Buffer
+	err = run([]string{"-addr", addr, "-ids", "-train", trainPath, "-window", "8", "-limit", "60"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("IDS mode emitted no alerts for a stream of unknown commands")
+	}
+	var alert rad.StreamAlert
+	if err := json.Unmarshal([]byte(lines[0]), &alert); err != nil {
+		t.Fatalf("alert is not JSON: %v\n%s", err, lines[0])
+	}
+	if alert.Source != "perplexity" || alert.Score <= alert.Threshold {
+		t.Errorf("unexpected alert: %+v", alert)
+	}
+}
+
+func TestWatchRequiresAddr(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("no -addr accepted")
+	}
+	if err := run([]string{"-addr", "x", "-ids"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-ids without -train accepted")
+	}
+}

@@ -65,9 +65,49 @@ func (d *PerplexityDetector) Threshold() float64 { return d.threshold }
 // over a validation set).
 func (d *PerplexityDetector) SetThreshold(t float64) { d.threshold = t }
 
-// Score returns the sequence's perplexity under the trained model.
+// ScoreWindow returns the window's perplexity under the trained model. It
+// is the single scoring path shared by every mode — batch classification
+// over whole runs, threshold calibration, and the online streaming detector
+// — so offline and online scores for identical windows are identical by
+// construction (pinned by TestWindowScoreParityOfflineOnline).
+func (d *PerplexityDetector) ScoreWindow(window []string) float64 {
+	return d.model.Perplexity(window)
+}
+
+// Score returns the sequence's perplexity under the trained model. A whole
+// sequence is just one maximal window.
 func (d *PerplexityDetector) Score(seq []string) float64 {
-	return d.model.Perplexity(seq)
+	return d.ScoreWindow(seq)
+}
+
+// WindowScores slides a window of the given size over seq and scores every
+// position through ScoreWindow. A sequence no longer than the window yields
+// exactly one score (the whole sequence). This is the calibration kernel:
+// NewStream's threshold and any Jenks split over window scores both consume
+// it, so no smoothing or normalization logic exists anywhere else.
+func (d *PerplexityDetector) WindowScores(seq []string, window int) []float64 {
+	if len(seq) <= window {
+		return []float64{d.ScoreWindow(seq)}
+	}
+	out := make([]float64, 0, len(seq)-window+1)
+	for i := 0; i+window <= len(seq); i++ {
+		out = append(out, d.ScoreWindow(seq[i:i+window]))
+	}
+	return out
+}
+
+// TrainingWindowScores scores every size-`window` slide over every training
+// sequence — the population online detectors calibrate their thresholds on.
+// The concatenation order is deterministic (training order, then position).
+func (d *PerplexityDetector) TrainingWindowScores(window int) []float64 {
+	per, _ := parallel.Map(d.train, 0, func(_ int, seq []string) ([]float64, error) {
+		return d.WindowScores(seq, window), nil
+	})
+	var out []float64
+	for _, scores := range per {
+		out = append(out, scores...)
+	}
+	return out
 }
 
 // Anomalous reports whether the sequence scores above the threshold.
@@ -121,17 +161,13 @@ func (d *PerplexityDetector) NewStream(window int) *Stream {
 	s := &Stream{d: d, size: window, threshold: d.threshold}
 	// Calibration slides the window over every training sequence — the most
 	// expensive step of stream construction. Each sequence's maximum is
-	// independent; compute them concurrently and reduce serially.
+	// independent; compute them concurrently and reduce serially. The
+	// scoring itself is the shared WindowScores kernel, so calibration sees
+	// exactly the scores the live stream will produce.
 	maxima, _ := parallel.Map(d.train, 0, func(_ int, seq []string) (float64, error) {
 		local := 0.0
-		if len(seq) <= window {
-			if p := d.model.Perplexity(seq); !math.IsInf(p, 1) {
-				local = p
-			}
-			return local, nil
-		}
-		for i := 0; i+window <= len(seq); i++ {
-			if p := d.model.Perplexity(seq[i : i+window]); p > local {
+		for _, p := range d.WindowScores(seq, window) {
+			if !math.IsInf(p, 1) && p > local {
 				local = p
 			}
 		}
@@ -152,6 +188,13 @@ func (d *PerplexityDetector) NewStream(window int) *Stream {
 // Threshold returns the stream's window-calibrated alert threshold.
 func (s *Stream) Threshold() float64 { return s.threshold }
 
+// SetThreshold overrides the alert threshold (e.g. with a Jenks break over
+// the training window-score population).
+func (s *Stream) SetThreshold(t float64) { s.threshold = t }
+
+// Size returns the window size (in commands) the stream scores.
+func (s *Stream) Size() int { return s.size }
+
 // Observe feeds one command and returns the current window perplexity and
 // whether it breaches the threshold. Until the window has at least one
 // scorable transition the score is NaN and alert is false.
@@ -163,7 +206,7 @@ func (s *Stream) Observe(command string) (score float64, alert bool) {
 	if len(s.window) <= s.d.model.Order()-1 {
 		return math.NaN(), false
 	}
-	score = s.d.Score(s.window)
+	score = s.d.ScoreWindow(s.window)
 	// Alert only on full windows: partial windows score few transitions and
 	// their perplexity estimate is too noisy to act on.
 	return score, len(s.window) == s.size && score > s.threshold

@@ -20,6 +20,7 @@ import (
 	"rad/internal/device"
 	"rad/internal/simclock"
 	"rad/internal/store"
+	"rad/internal/stream"
 	"rad/internal/wire"
 )
 
@@ -33,6 +34,14 @@ type Core struct {
 
 	mu      sync.RWMutex
 	devices map[string]device.Device
+
+	// broker, when attached, fans every committed trace record out to live
+	// subscribers (radwatch tails, the online IDS). Immutable after
+	// AttachBroker; nil means no live feed. brokerWired reports that the sink
+	// publishes into the broker itself (through its commit hook), so the
+	// logging path must not double-publish.
+	broker      *stream.Broker
+	brokerWired bool
 
 	// Request counters are atomics so that concurrent device sessions never
 	// serialize on the registry lock just to bump a statistic.
@@ -48,12 +57,29 @@ type Stats struct {
 	Traces uint64 // DIRECT-mode trace uploads
 	Pings  uint64
 	Errors uint64 // requests that produced an error reply
+	// Subscribers holds per-subscriber live-stream delivery accounting when a
+	// broker is attached (nil otherwise).
+	Subscribers []stream.SubscriberStats
 }
 
 // NewCore builds a middlebox core logging to sink (which may be nil to
 // disable logging, e.g. in pure latency benchmarks).
 func NewCore(clock simclock.Clock, sink store.Sink) *Core {
 	return &Core{clock: clock, devices: make(map[string]device.Device), sink: sink}
+}
+
+// AttachBroker connects a live-stream broker to the middlebox. When the trace
+// sink assigns sequence numbers (implements store.Notifier), the broker is
+// wired to its commit hook so subscribers see records with their
+// authoritative sequence numbers, in commit order; otherwise records are
+// published directly from the logging path (with whatever Seq they carry).
+// Call before serving traffic.
+func (c *Core) AttachBroker(b *stream.Broker) {
+	c.broker = b
+	if n, ok := c.sink.(store.Notifier); ok {
+		b.AttachStore(n)
+		c.brokerWired = true
+	}
 }
 
 // Register connects a device to the middlebox. Registering a device with a
@@ -78,10 +104,11 @@ func (c *Core) Device(name string) (device.Device, bool) {
 // included, but no counter ever goes backwards between snapshots.
 func (c *Core) Snapshot() Stats {
 	return Stats{
-		Execs:  c.execs.Load(),
-		Traces: c.traces.Load(),
-		Pings:  c.pings.Load(),
-		Errors: c.errors.Load(),
+		Execs:       c.execs.Load(),
+		Traces:      c.traces.Load(),
+		Pings:       c.pings.Load(),
+		Errors:      c.errors.Load(),
+		Subscribers: c.broker.Stats(), // nil-safe: nil broker reports nil
 	}
 }
 
@@ -157,11 +184,21 @@ func (c *Core) handleTrace(req wire.Request) wire.Reply {
 
 func (c *Core) log(rec store.Record) {
 	if c.sink == nil {
+		// No sink assigns sequence numbers, but live tailers may still want
+		// the feed (e.g. a logging-disabled latency rig).
+		if c.broker != nil && !c.brokerWired {
+			c.broker.Publish(rec)
+		}
 		return
 	}
 	// Trace logging must never fail the command path; the middlebox drops
 	// the record if the sink errors (a full disk must not stop the lab).
 	_ = c.sink.Append(rec)
+	// Sinks that sequence records publish from their own commit hook; for
+	// plain sinks the logging path publishes directly.
+	if c.broker != nil && !c.brokerWired {
+		c.broker.Publish(rec)
+	}
 }
 
 // procedureLabel applies the paper's labelling rule: commands from

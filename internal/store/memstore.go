@@ -11,19 +11,44 @@ type Sink interface {
 	Append(r Record) error
 }
 
+// Notifier is implemented by sequencing sinks (MemStore, tracedb.DB) that
+// can invoke a commit hook with seq-assigned records. The hook fires exactly
+// once per record, in sequence order, after the record is visible to the
+// sink's readers — the contract a live-stream broker needs to guarantee
+// gap-free snapshot-then-follow handoff.
+//
+// The hook runs while the sink's internal lock is held: it must be fast,
+// must not call back into the sink, and must not retain the slice (the
+// backing array is reused).
+type Notifier interface {
+	SetOnCommit(fn func(recs []Record))
+}
+
 // MemStore is an in-memory document store standing in for RATracer's MongoDB
 // instance. It assigns sequence numbers, keeps insertion order, and offers
 // the query shapes the analyses need. It is safe for concurrent use.
 type MemStore struct {
-	mu      sync.RWMutex
-	records []Record
-	nextSeq uint64
+	mu       sync.RWMutex
+	records  []Record
+	nextSeq  uint64
+	onCommit func(recs []Record)
 }
 
-var _ Sink = (*MemStore)(nil)
+var (
+	_ Sink     = (*MemStore)(nil)
+	_ Notifier = (*MemStore)(nil)
+)
 
 // NewMemStore returns an empty store.
 func NewMemStore() *MemStore { return &MemStore{} }
+
+// SetOnCommit installs the commit hook (see Notifier). Only one hook is
+// held; a later call replaces the earlier one.
+func (s *MemStore) SetOnCommit(fn func(recs []Record)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onCommit = fn
+}
 
 // Append stores the record, assigning its sequence number.
 func (s *MemStore) Append(r Record) error {
@@ -32,6 +57,9 @@ func (s *MemStore) Append(r Record) error {
 	r.Seq = s.nextSeq
 	s.nextSeq++
 	s.records = append(s.records, r)
+	if s.onCommit != nil {
+		s.onCommit(s.records[len(s.records)-1:])
+	}
 	return nil
 }
 
@@ -46,10 +74,14 @@ func (s *MemStore) AppendBatch(recs []Record) error {
 		copy(grown, s.records)
 		s.records = grown
 	}
+	start := len(s.records)
 	for _, r := range recs {
 		r.Seq = s.nextSeq
 		s.nextSeq++
 		s.records = append(s.records, r)
+	}
+	if s.onCommit != nil && len(recs) > 0 {
+		s.onCommit(s.records[start:])
 	}
 	return nil
 }

@@ -1,0 +1,378 @@
+// Package stream is the live fan-out layer between the middlebox's trace
+// commit path and its online consumers: a bounded pub/sub broker that
+// publishes every committed store.Record (and power sample) to any number of
+// subscribers, each with its own bounded ring buffer and explicit overflow
+// policy. It is the serving substrate the paper's purpose implies — IDS
+// researchers watching the lab live instead of mining completed campaigns —
+// and the attachment point for the online detectors in ids.go.
+//
+// Design rules:
+//
+//   - The trace hot path is sacred. Under the default DropOldest policy a
+//     publisher never waits on a subscriber: a slow tailer loses its oldest
+//     buffered events (with exact loss accounting) and the middlebox keeps
+//     its throughput.
+//   - Lossless consumers opt into Block, accepting that they backpressure
+//     the producer; the online IDS and the gap-free handoff tests use it.
+//   - Publish order equals sequence order. The broker is fed from a
+//     store.Notifier commit hook, which fires under the store's lock, so
+//     subscribers observe records exactly as the store sequenced them —
+//     the invariant snapshot-then-follow (tail.go) is built on.
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rad/internal/power"
+	"rad/internal/store"
+	"rad/internal/tracedb"
+)
+
+// Kind discriminates the event union.
+type Kind uint8
+
+const (
+	// KindTrace events carry a committed trace record.
+	KindTrace Kind = iota
+	// KindPower events carry one UR3e power-telemetry sample.
+	KindPower
+)
+
+// Event is one published item: a trace record or a power sample.
+type Event struct {
+	Kind   Kind
+	Record store.Record // valid when Kind == KindTrace
+	Sample power.Sample // valid when Kind == KindPower
+}
+
+// Policy selects a subscriber's overflow behaviour.
+type Policy uint8
+
+const (
+	// DropOldest (the default) sheds the oldest buffered event when the
+	// ring is full, counting the drop. Publishers never block.
+	DropOldest Policy = iota
+	// Block makes publishers wait for ring space — lossless, but a stalled
+	// consumer stalls the producer (and, through the commit hook, the trace
+	// hot path). Reserve it for consumers that must see every record.
+	Block
+)
+
+// DefaultBuffer is the ring capacity used when SubOptions.Buffer is not
+// positive.
+const DefaultBuffer = 1024
+
+// SubOptions configures a subscription.
+type SubOptions struct {
+	// Name labels the subscriber in Stats (e.g. a remote address).
+	Name string
+	// Buffer is the ring capacity; <= 0 selects DefaultBuffer.
+	Buffer int
+	// Policy is the overflow behaviour when the ring is full.
+	Policy Policy
+	// Filter restricts trace events to those matching the query (the same
+	// conjunctive predicate the tracedb indexed scan applies; the zero
+	// value matches everything). Filtering happens at publish time, before
+	// buffering — non-matching events cost the subscriber nothing.
+	Filter tracedb.Query
+	// Power opts into power-sample events (trace filters do not apply to
+	// them).
+	Power bool
+}
+
+// Broker fans committed events out to subscribers. Safe for concurrent use;
+// a nil *Broker ignores publishes, so producers can hold one unconditionally.
+type Broker struct {
+	mu     sync.RWMutex
+	subs   []*Subscriber
+	closed bool
+
+	published atomic.Uint64 // trace events offered to the fan-out
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker { return &Broker{} }
+
+// AttachStore wires the broker to a sequencing sink's commit hook: every
+// record the sink commits is published with its assigned sequence number, in
+// sequence order. Both store.MemStore and tracedb.DB implement
+// store.Notifier.
+func (b *Broker) AttachStore(n store.Notifier) {
+	n.SetOnCommit(b.PublishBatch)
+}
+
+// AttachMonitor bridges a power monitor's live sample feed into the broker
+// on a background goroutine. The returned stop function cancels the bridge
+// and waits for it to drain.
+func (b *Broker) AttachMonitor(m *power.Monitor, buffer int) (stop func()) {
+	sub := m.Subscribe(buffer)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for s := range sub.C() {
+			b.PublishPower(s)
+		}
+	}()
+	return func() {
+		sub.Cancel()
+		<-done
+	}
+}
+
+// Publish offers one committed trace record to every subscriber.
+func (b *Broker) Publish(rec store.Record) {
+	if b == nil {
+		return
+	}
+	b.published.Add(1)
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if len(b.subs) == 0 {
+		return
+	}
+	ev := Event{Kind: KindTrace, Record: rec}
+	for _, s := range b.subs {
+		s.offer(&ev)
+	}
+}
+
+// PublishBatch offers a batch of committed records in slice order. It is the
+// store.Notifier commit-hook shape; the slice is not retained.
+func (b *Broker) PublishBatch(recs []store.Record) {
+	if b == nil || len(recs) == 0 {
+		return
+	}
+	b.published.Add(uint64(len(recs)))
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if len(b.subs) == 0 {
+		return
+	}
+	var ev Event
+	for i := range recs {
+		ev = Event{Kind: KindTrace, Record: recs[i]}
+		for _, s := range b.subs {
+			s.offer(&ev)
+		}
+	}
+}
+
+// PublishPower offers one power sample to the subscribers that opted in.
+func (b *Broker) PublishPower(s power.Sample) {
+	if b == nil {
+		return
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if len(b.subs) == 0 {
+		return
+	}
+	ev := Event{Kind: KindPower, Sample: s}
+	for _, sub := range b.subs {
+		sub.offer(&ev)
+	}
+}
+
+// Published returns the number of trace events offered to the fan-out so
+// far.
+func (b *Broker) Published() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.published.Load()
+}
+
+// Subscribe attaches a new subscriber. Events published after Subscribe
+// returns are guaranteed to reach its ring (subject to the overflow policy).
+func (b *Broker) Subscribe(opts SubOptions) *Subscriber {
+	if opts.Buffer <= 0 {
+		opts.Buffer = DefaultBuffer
+	}
+	s := &Subscriber{
+		broker: b,
+		name:   opts.Name,
+		policy: opts.Policy,
+		filter: opts.Filter,
+		power:  opts.Power,
+		buf:    make([]Event, opts.Buffer),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		s.closed = true
+		return s
+	}
+	b.subs = append(b.subs, s)
+	return s
+}
+
+// Stats snapshots every live subscriber's counters.
+func (b *Broker) Stats() []SubscriberStats {
+	if b == nil {
+		return nil
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]SubscriberStats, 0, len(b.subs))
+	for _, s := range b.subs {
+		out = append(out, s.Stats())
+	}
+	return out
+}
+
+// Close closes every subscriber and rejects future subscriptions. Publishes
+// after Close are no-ops.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	subs := b.subs
+	b.subs = nil
+	b.closed = true
+	b.mu.Unlock()
+	for _, s := range subs {
+		s.markClosed()
+	}
+}
+
+// detach removes s from the fan-out list.
+func (b *Broker) detach(s *Subscriber) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, other := range b.subs {
+		if other == s {
+			b.subs = append(b.subs[:i], b.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// SubscriberStats is one subscriber's delivery accounting.
+type SubscriberStats struct {
+	Name      string
+	Delivered uint64 // events handed to the consumer
+	Dropped   uint64 // events shed under DropOldest
+	Buffered  int    // events waiting in the ring right now
+	Capacity  int    // ring capacity
+	Lagging   bool   // ring at least half full (or events already shed)
+}
+
+// Subscriber is one consumer's bounded ring buffer. Recv is safe for a
+// single consumer goroutine; offers may come from any number of publishers.
+type Subscriber struct {
+	broker *Broker
+	name   string
+	policy Policy
+	filter tracedb.Query
+	power  bool
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	buf       []Event // ring storage
+	head, n   int
+	closed    bool
+	delivered uint64
+	dropped   uint64
+}
+
+// offer enqueues one event, applying the filter and the overflow policy. The
+// event is copied into the ring; the pointer is not retained (publishers
+// reuse the pointee across subscribers).
+func (s *Subscriber) offer(ev *Event) {
+	switch ev.Kind {
+	case KindTrace:
+		if !s.filter.Match(ev.Record) {
+			return
+		}
+	case KindPower:
+		if !s.power {
+			return
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.policy == Block && s.n == len(s.buf) && !s.closed {
+		s.cond.Wait()
+	}
+	if s.closed {
+		return
+	}
+	if s.n == len(s.buf) { // full under DropOldest: shed the oldest
+		s.head = (s.head + 1) % len(s.buf)
+		s.n--
+		s.dropped++
+	}
+	s.buf[(s.head+s.n)%len(s.buf)] = *ev
+	s.n++
+	s.cond.Broadcast()
+}
+
+// Recv blocks until an event is available or the subscriber is closed; ok is
+// false only when the subscriber is closed and its ring fully drained.
+func (s *Subscriber) Recv() (ev Event, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.n == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if s.n == 0 {
+		return Event{}, false
+	}
+	ev = s.buf[s.head]
+	s.buf[s.head] = Event{} // release references held by the slot
+	s.head = (s.head + 1) % len(s.buf)
+	s.n--
+	s.delivered++
+	s.cond.Broadcast()
+	return ev, true
+}
+
+// TryRecv is Recv without blocking: ok is false when the ring is empty.
+func (s *Subscriber) TryRecv() (ev Event, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return Event{}, false
+	}
+	ev = s.buf[s.head]
+	s.buf[s.head] = Event{}
+	s.head = (s.head + 1) % len(s.buf)
+	s.n--
+	s.delivered++
+	s.cond.Broadcast()
+	return ev, true
+}
+
+// Stats snapshots the subscriber's counters.
+func (s *Subscriber) Stats() SubscriberStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SubscriberStats{
+		Name:      s.name,
+		Delivered: s.delivered,
+		Dropped:   s.dropped,
+		Buffered:  s.n,
+		Capacity:  len(s.buf),
+		Lagging:   2*s.n >= len(s.buf) || s.dropped > 0,
+	}
+}
+
+// Close detaches the subscriber from the broker and wakes any blocked
+// publishers and receivers. Events already buffered remain drainable with
+// Recv/TryRecv until the ring is empty. Idempotent.
+func (s *Subscriber) Close() {
+	s.markClosed()
+	if s.broker != nil {
+		s.broker.detach(s)
+	}
+}
+
+// markClosed flips the closed flag and wakes every waiter. Blocked
+// publishers re-check the flag and drop the event; pending Recv calls drain
+// the remaining ring contents, then report closure.
+func (s *Subscriber) markClosed() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}

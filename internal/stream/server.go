@@ -1,0 +1,271 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"rad/internal/store"
+	"rad/internal/tracedb"
+	"rad/internal/wire"
+)
+
+// Server exposes a broker's live feed over TCP: one Subscribe frame in, a
+// stream of Event frames out (the wire-protocol tail of wire/stream.go).
+// Each connection gets its own broker subscription, so the overflow policy
+// and drop accounting are per-tailer; a stalled client under drop-oldest
+// costs the middlebox nothing but that client's own ring.
+type Server struct {
+	broker *Broker
+	db     *tracedb.DB // snapshot source; nil disables snapshot-then-follow
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]*Subscriber
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// maxSubscriberBuffer caps a client-requested ring so one tail cannot pin
+// unbounded memory on the middlebox.
+const maxSubscriberBuffer = 1 << 16
+
+// NewServer wraps broker; db (which may be nil) serves Subscribe.Snapshot
+// replays.
+func NewServer(broker *Broker, db *tracedb.DB) *Server {
+	return &Server{broker: broker, db: db, conns: make(map[net.Conn]*Subscriber)}
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves in the background,
+// returning the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("stream: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return "", errors.New("stream: server already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+
+	var req wire.Subscribe
+	if err := wire.ReadFrame(conn, &req); err != nil {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		_ = wire.WriteFrame(conn, wire.Event{Kind: wire.EventError, Error: err.Error()})
+		return
+	}
+	if req.Snapshot && s.db == nil {
+		_ = wire.WriteFrame(conn, wire.Event{Kind: wire.EventError,
+			Error: "stream: snapshot requested but the middlebox has no persistent store"})
+		return
+	}
+	opts := subOptions(req, conn)
+
+	if req.Snapshot {
+		s.serveTail(conn, opts)
+		return
+	}
+	sub := s.broker.Subscribe(opts)
+	if !s.track(conn, sub) {
+		sub.Close()
+		return
+	}
+	defer s.untrack(conn, sub)
+	s.pump(conn, sub, 0)
+}
+
+// serveTail runs the snapshot-then-follow protocol: history, the
+// snapshot-end marker, then the live feed.
+func (s *Server) serveTail(conn net.Conn, opts SubOptions) {
+	tail := s.broker.Tail(s.db, opts)
+	if !s.track(conn, tail.Subscriber()) {
+		tail.Close()
+		return
+	}
+	defer s.untrack(conn, tail.Subscriber())
+
+	err := tail.Snapshot(func(r store.Record) error {
+		rec := r
+		return wire.WriteFrame(conn, wire.Event{Kind: wire.EventTrace, Record: &rec})
+	})
+	if err != nil {
+		_ = wire.WriteFrame(conn, wire.Event{Kind: wire.EventError, Error: err.Error()})
+		return
+	}
+	if wire.WriteFrame(conn, wire.Event{Kind: wire.EventSnapshotEnd}) != nil {
+		return
+	}
+	var reported uint64
+	for {
+		ev, ok := tail.Recv()
+		if !ok {
+			return
+		}
+		if s.writeEvent(conn, ev, tail.Subscriber(), &reported) != nil {
+			return
+		}
+	}
+}
+
+// pump forwards live events until the client disconnects or the subscriber
+// closes.
+func (s *Server) pump(conn net.Conn, sub *Subscriber, reportedDrops uint64) {
+	for {
+		ev, ok := sub.Recv()
+		if !ok {
+			return
+		}
+		if s.writeEvent(conn, ev, sub, &reportedDrops) != nil {
+			return
+		}
+	}
+}
+
+// writeEvent frames one event, attaching the number of events shed since the
+// previous frame so the client's drop accounting stays exact.
+func (s *Server) writeEvent(conn net.Conn, ev Event, sub *Subscriber, reported *uint64) error {
+	frame := wire.Event{}
+	switch ev.Kind {
+	case KindTrace:
+		rec := ev.Record
+		frame.Kind = wire.EventTrace
+		frame.Record = &rec
+	case KindPower:
+		sample := ev.Sample
+		frame.Kind = wire.EventPower
+		frame.Sample = &sample
+	default:
+		return nil
+	}
+	if dropped := sub.Stats().Dropped; dropped > *reported {
+		frame.Dropped = dropped - *reported
+		*reported = dropped
+	}
+	return wire.WriteFrame(conn, frame)
+}
+
+// track registers a connection's subscriber for shutdown; it reports false
+// when the server is already closed.
+func (s *Server) track(conn net.Conn, sub *Subscriber) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = sub
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn, sub *Subscriber) {
+	sub.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// Close stops the listener, closes every live tail, and waits for the
+// connection goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for conn, sub := range s.conns {
+		sub.Close() // unblocks Recv
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// subOptions maps a validated Subscribe frame onto broker options.
+func subOptions(req wire.Subscribe, conn net.Conn) SubOptions {
+	opts := SubOptions{
+		Name:   req.Name,
+		Buffer: req.Buffer,
+		Power:  req.Power,
+		Filter: tracedb.Query{
+			Device: req.Device, Key: req.Key,
+			Procedure: req.Procedure, Run: req.Run,
+		},
+	}
+	if opts.Name == "" {
+		opts.Name = conn.RemoteAddr().String()
+	}
+	if opts.Buffer > maxSubscriberBuffer {
+		opts.Buffer = maxSubscriberBuffer
+	}
+	if req.Policy == wire.PolicyBlock {
+		opts.Policy = Block
+	}
+	return opts
+}
+
+// Client is the tail-consumer side: it dials a stream listener, sends the
+// Subscribe frame, and decodes Event frames.
+type Client struct {
+	conn net.Conn
+}
+
+// Dial connects to a stream listener and subscribes. The request's Op is
+// set for the caller.
+func Dial(addr string, req wire.Subscribe) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stream: dial %s: %w", addr, err)
+	}
+	req.Op = wire.OpSubscribe
+	if err := wire.WriteFrame(conn, req); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("stream: send subscribe: %w", err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Recv reads the next event frame. A server-reported subscription failure
+// is surfaced as an error; io.EOF means the server closed the stream.
+func (c *Client) Recv() (wire.Event, error) {
+	var ev wire.Event
+	if err := wire.ReadFrame(c.conn, &ev); err != nil {
+		return wire.Event{}, err
+	}
+	if ev.Kind == wire.EventError {
+		return wire.Event{}, fmt.Errorf("stream: subscription failed: %s", ev.Error)
+	}
+	return ev, nil
+}
+
+// Close terminates the subscription by closing the connection.
+func (c *Client) Close() error { return c.conn.Close() }

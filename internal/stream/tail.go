@@ -1,0 +1,83 @@
+package stream
+
+import (
+	"rad/internal/store"
+	"rad/internal/tracedb"
+)
+
+// Tail is a snapshot-then-follow subscription: it replays every matching
+// record already committed to a tracedb store (in sequence order), then
+// switches to the live feed with no gaps and no duplicates.
+//
+// The handoff invariant rests on two orderings:
+//
+//  1. The subscriber registers with the broker BEFORE the snapshot is
+//     planned, so every record committed after registration is buffered in
+//     its ring while the snapshot drains.
+//  2. The store's commit hook publishes a record only once it is visible to
+//     readers, so every record the subscriber missed (published before
+//     registration) is guaranteed to be in the snapshot.
+//
+// Records committed in the window between registration and the snapshot plan
+// appear in both; Recv discards them by comparing sequence numbers against
+// the snapshot boundary. Use the Block policy for a lossless tail (the
+// gap-free guarantee); under DropOldest a tail that falls behind loses live
+// events like any other subscriber, with the loss counted.
+type Tail struct {
+	sub      *Subscriber
+	it       *tracedb.Iterator
+	boundary uint64 // highest snapshot seq + 1; live events below it are duplicates
+	snapDone bool
+	dups     uint64
+}
+
+// Tail opens a snapshot-then-follow subscription over db. Call Snapshot to
+// drain the historical records, then Recv for live events; Close when done.
+func (b *Broker) Tail(db *tracedb.DB, opts SubOptions) *Tail {
+	sub := b.Subscribe(opts)   // 1: live events start buffering now
+	it := db.Scan(opts.Filter) // 2: snapshot covers everything committed before 1
+	return &Tail{sub: sub, it: it}
+}
+
+// Snapshot streams every historical record (already filtered, in sequence
+// order) to fn and records the live-handoff boundary. It returns fn's first
+// error, or the snapshot scan's read error, if any. Must be called (to
+// completion) before Recv.
+func (t *Tail) Snapshot(fn func(store.Record) error) error {
+	for t.it.Next() {
+		r := t.it.Record()
+		t.boundary = r.Seq + 1
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	t.snapDone = true
+	return t.it.Err()
+}
+
+// Recv returns the next live event. Trace events that were already replayed
+// by Snapshot are skipped (counted in Duplicates); ok is false once the
+// subscriber is closed and drained.
+func (t *Tail) Recv() (Event, bool) {
+	for {
+		ev, ok := t.sub.Recv()
+		if !ok {
+			return Event{}, false
+		}
+		if ev.Kind == KindTrace && ev.Record.Seq < t.boundary {
+			t.dups++
+			continue
+		}
+		return ev, true
+	}
+}
+
+// Duplicates reports how many live events Recv discarded as already
+// delivered by the snapshot — the size of the registration-to-plan overlap.
+func (t *Tail) Duplicates() uint64 { return t.dups }
+
+// Subscriber exposes the underlying live subscription (for Stats).
+func (t *Tail) Subscriber() *Subscriber { return t.sub }
+
+// Close detaches the live subscription.
+func (t *Tail) Close() { t.sub.Close() }

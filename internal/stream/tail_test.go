@@ -1,0 +1,223 @@
+package stream_test
+
+import (
+	"sync"
+	"testing"
+
+	dataset "rad/internal/rad"
+	"rad/internal/store"
+	"rad/internal/stream"
+	"rad/internal/tracedb"
+)
+
+// TestTailHandoffGapFreeFullCampaign is the acceptance test for
+// snapshot-then-follow: the full 128,785-record campaign is appended to a
+// tracedb in batches while a subscriber attaches mid-campaign. The tail must
+// deliver every sequence number exactly once — snapshot plus live feed, no
+// gaps, no duplicates — using the store's own segment seq numbering.
+func TestTailHandoffGapFreeFullCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-campaign generation in -short mode")
+	}
+	ds, err := dataset.Generate(dataset.Config{Seed: 11, Scale: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := ds.Store.All()
+	total := len(recs)
+	if total != dataset.TotalTraceObjects {
+		t.Fatalf("campaign has %d records, want %d", total, dataset.TotalTraceObjects)
+	}
+
+	db, err := tracedb.Open(t.TempDir(), tracedb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	broker := stream.NewBroker()
+	defer broker.Close()
+	broker.AttachStore(db)
+
+	const chunk = 1024
+	attachAfter := total / 3 // mid-campaign
+
+	// Producer: append the campaign in blocks; signal once a third is in.
+	attached := make(chan struct{})
+	var produced sync.WaitGroup
+	produced.Add(1)
+	go func() {
+		defer produced.Done()
+		signalled := false
+		for off := 0; off < total; off += chunk {
+			end := off + chunk
+			if end > total {
+				end = total
+			}
+			if err := db.AppendBatch(recs[off:end]); err != nil {
+				t.Errorf("append batch at %d: %v", off, err)
+				return
+			}
+			if !signalled && end >= attachAfter {
+				signalled = true
+				close(attached)
+				// Give the consumer a moment to attach mid-stream; the
+				// correctness argument does not depend on this timing, it
+				// just makes the test exercise a genuinely concurrent
+				// handoff rather than an after-the-fact replay.
+			}
+		}
+	}()
+
+	<-attached
+	tail := broker.Tail(db, stream.SubOptions{
+		Name: "campaign-tail", Buffer: 4096, Policy: stream.Block,
+	})
+	defer tail.Close()
+
+	seen := make([]bool, total)
+	record := func(r store.Record, source string) {
+		if r.Seq >= uint64(total) {
+			t.Fatalf("%s delivered out-of-range seq %d", source, r.Seq)
+		}
+		if seen[r.Seq] {
+			t.Fatalf("%s delivered seq %d twice", source, r.Seq)
+		}
+		seen[r.Seq] = true
+	}
+
+	var snapshotted int
+	err = tail.Snapshot(func(r store.Record) error {
+		record(r, "snapshot")
+		snapshotted++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapshotted < attachAfter/2 {
+		t.Errorf("snapshot replayed only %d records before a mid-campaign attach", snapshotted)
+	}
+
+	received := snapshotted
+	for received < total {
+		ev, ok := tail.Recv()
+		if !ok {
+			t.Fatalf("tail closed after %d/%d records", received, total)
+		}
+		if ev.Kind != stream.KindTrace {
+			continue
+		}
+		record(ev.Record, "live")
+		received++
+	}
+	produced.Wait()
+
+	for seq, ok := range seen {
+		if !ok {
+			t.Fatalf("seq %d never delivered", seq)
+		}
+	}
+	if st := tail.Subscriber().Stats(); st.Dropped != 0 {
+		t.Errorf("Block tail dropped %d events", st.Dropped)
+	}
+	t.Logf("campaign handoff: %d snapshot + %d live, %d overlap duplicates discarded",
+		snapshotted, received-snapshotted, tail.Duplicates())
+}
+
+// TestTailAfterQuiescentStore covers the degenerate handoff: everything is
+// already committed, nothing arrives live.
+func TestTailAfterQuiescentStore(t *testing.T) {
+	db, err := tracedb.Open(t.TempDir(), tracedb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	broker := stream.NewBroker()
+	defer broker.Close()
+	broker.AttachStore(db)
+
+	for i := 0; i < 50; i++ {
+		if err := db.Append(store.Record{Device: "C9", Name: "MVNG"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tail := broker.Tail(db, stream.SubOptions{Buffer: 64, Policy: stream.Block})
+	defer tail.Close()
+	var want uint64
+	err = tail.Snapshot(func(r store.Record) error {
+		if r.Seq != want {
+			t.Fatalf("snapshot seq %d, want %d", r.Seq, want)
+		}
+		want++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != 50 {
+		t.Fatalf("snapshot replayed %d records, want 50", want)
+	}
+	// The 50 committed records were published before the subscriber existed,
+	// so its ring holds nothing — no overlap, no duplicates. A fresh live
+	// record comes straight through.
+	if err := db.Append(store.Record{Device: "UR3e", Name: "movej"}); err != nil {
+		t.Fatal(err)
+	}
+	ev, ok := tail.Recv()
+	if !ok || ev.Record.Seq != 50 {
+		t.Fatalf("live event after snapshot: (%d, %v), want seq 50", ev.Record.Seq, ok)
+	}
+	if tail.Duplicates() != 0 {
+		t.Errorf("discarded %d duplicates, want 0 (no overlap window)", tail.Duplicates())
+	}
+}
+
+// TestTailFilterConsistency checks that the snapshot and the live side apply
+// the same filter, so a filtered tail is gap-free over the matching subset.
+func TestTailFilterConsistency(t *testing.T) {
+	db, err := tracedb.Open(t.TempDir(), tracedb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	broker := stream.NewBroker()
+	defer broker.Close()
+	broker.AttachStore(db)
+
+	devs := []string{"C9", "UR3e", "IKA"}
+	for i := 0; i < 30; i++ {
+		if err := db.Append(store.Record{Device: devs[i%3], Name: "cmd"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tail := broker.Tail(db, stream.SubOptions{
+		Filter: tracedb.Query{Device: "UR3e"}, Buffer: 64, Policy: stream.Block,
+	})
+	defer tail.Close()
+
+	var got []uint64
+	if err := tail.Snapshot(func(r store.Record) error {
+		if r.Device != "UR3e" {
+			t.Errorf("snapshot leaked %s record", r.Device)
+		}
+		got = append(got, r.Seq)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("snapshot matched %d records, want 10", len(got))
+	}
+	for i := 0; i < 6; i++ {
+		if err := db.Append(store.Record{Device: devs[i%3], Name: "cmd"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		ev, ok := tail.Recv()
+		if !ok || ev.Record.Device != "UR3e" {
+			t.Fatalf("live event %d: (%s, %v)", i, ev.Record.Device, ok)
+		}
+	}
+}

@@ -40,17 +40,19 @@ type DB struct {
 	dir  string
 	opts Options
 
-	mu      sync.RWMutex
-	segs    []*segment
-	pending []store.Record // staged per-record appends, not yet in a block
-	encBuf  []byte         // reusable payload encode buffer (writer-only)
-	nextSeq uint64
-	closed  bool
+	mu       sync.RWMutex
+	segs     []*segment
+	pending  []store.Record // staged per-record appends, not yet in a block
+	encBuf   []byte         // reusable payload encode buffer (writer-only)
+	nextSeq  uint64
+	closed   bool
+	onCommit func(recs []store.Record)
 }
 
 var (
 	_ store.Sink      = (*DB)(nil)
 	_ store.BatchSink = (*DB)(nil)
+	_ store.Notifier  = (*DB)(nil)
 )
 
 // Open opens (or creates) the store in dir, recovering every segment:
@@ -113,6 +115,16 @@ func Open(dir string, opts Options) (*DB, error) {
 // Dir returns the store's directory.
 func (db *DB) Dir() string { return db.dir }
 
+// SetOnCommit installs the commit hook (see store.Notifier): it fires
+// exactly once per record, in sequence order, under the write lock, as soon
+// as the record is visible to readers (staged appends are already visible to
+// Scan/Collect, so the hook fires at staging time, not at block flush).
+func (db *DB) SetOnCommit(fn func(recs []store.Record)) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.onCommit = fn
+}
+
 // Append assigns the next sequence number and stages the record; staged
 // records are flushed as one block every Options.BlockRecords appends, on
 // Flush, or on Close. Staged records are already visible to readers.
@@ -125,6 +137,9 @@ func (db *DB) Append(r store.Record) error {
 	r.Seq = db.nextSeq
 	db.nextSeq++
 	db.pending = append(db.pending, r)
+	if db.onCommit != nil {
+		db.onCommit(db.pending[len(db.pending)-1:])
+	}
 	if len(db.pending) >= db.opts.BlockRecords {
 		return db.flushLocked()
 	}
@@ -153,7 +168,13 @@ func (db *DB) AppendBatch(recs []store.Record) error {
 		block[i].Seq = db.nextSeq
 		db.nextSeq++
 	}
-	return db.appendBlockLocked(block)
+	if err := db.appendBlockLocked(block); err != nil {
+		return err
+	}
+	if db.onCommit != nil {
+		db.onCommit(block)
+	}
+	return nil
 }
 
 // Flush writes any staged per-record appends to disk as one block.

@@ -59,6 +59,48 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzSubscribeFrame hardens the stream listener's untrusted input path: an
+// arbitrary byte string decoded as a Subscribe frame must never panic, and
+// whatever decodes must either fail Validate or be a well-formed
+// subscription (recognised policy, non-negative buffer).
+func FuzzSubscribeFrame(f *testing.F) {
+	var valid bytes.Buffer
+	_ = WriteFrame(&valid, Subscribe{Op: OpSubscribe, Name: "watch", Device: "UR3e",
+		Snapshot: true, Policy: PolicyBlock, Buffer: 128})
+	f.Add(valid.Bytes())
+	var wrongOp bytes.Buffer
+	_ = WriteFrame(&wrongOp, Subscribe{Op: "exec"})
+	f.Add(wrongOp.Bytes())
+	var badPolicy bytes.Buffer
+	_ = WriteFrame(&badPolicy, Subscribe{Op: OpSubscribe, Policy: "bogus"})
+	f.Add(badPolicy.Bytes())
+	var negBuffer bytes.Buffer
+	_ = WriteFrame(&negBuffer, Subscribe{Op: OpSubscribe, Buffer: -5})
+	f.Add(negBuffer.Bytes())
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Subscribe
+		if err := ReadFrame(bytes.NewReader(data), &req); err != nil {
+			return
+		}
+		if err := req.Validate(); err != nil {
+			return
+		}
+		// Everything Validate accepts must be safe for the server to act on.
+		if req.Op != OpSubscribe {
+			t.Fatalf("validated subscribe with op %q", req.Op)
+		}
+		if req.Policy != "" && req.Policy != PolicyDropOldest && req.Policy != PolicyBlock {
+			t.Fatalf("validated unknown policy %q", req.Policy)
+		}
+		if req.Buffer < 0 {
+			t.Fatalf("validated negative buffer %d", req.Buffer)
+		}
+	})
+}
+
 // FuzzPooledFrameSequence hardens the buffer pooling: a long frame followed
 // by shorter frames reuses the same pooled buffers, and every frame must
 // still round-trip to exactly itself — no byte of one frame may leak into

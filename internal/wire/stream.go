@@ -1,0 +1,102 @@
+package wire
+
+// This file extends the wire protocol with the live-tail frames served by a
+// middlebox's stream listener (internal/stream). A tail connection carries
+// exactly one client → server Subscribe frame followed by a server → client
+// sequence of Event frames; the client unsubscribes by closing the
+// connection. Filters travel in the Subscribe frame so they are applied on
+// the server side, before events are buffered for the connection — the
+// pushdown that keeps a narrow tail cheap no matter how busy the lab is.
+
+import (
+	"fmt"
+
+	"rad/internal/power"
+	"rad/internal/store"
+)
+
+// OpSubscribe is the operation carried by a Subscribe frame. It shares the
+// Op namespace with the request ops so a stream listener can reject a
+// regular RPC frame (and vice versa) with a precise error.
+const OpSubscribe Op = "subscribe"
+
+// Subscriber overflow policies, as spelled in a Subscribe frame.
+const (
+	// PolicyDropOldest sheds the oldest buffered event when the tail falls
+	// behind, counting the loss. The default: a slow tailer never stalls
+	// the middlebox's trace hot path.
+	PolicyDropOldest = "drop-oldest"
+	// PolicyBlock makes the publisher wait for buffer space — lossless
+	// delivery for consumers (e.g. an online IDS) that must see every
+	// record, at the price of backpressure on the trace path.
+	PolicyBlock = "block"
+)
+
+// Subscribe is the first (and only) frame a tail client sends.
+type Subscribe struct {
+	Op Op `json:"op"`
+	// Name labels the subscriber in the middlebox's stream statistics;
+	// empty defaults to the connection's remote address.
+	Name string `json:"name,omitempty"`
+
+	// Trace filters (conjunctive; empty matches everything).
+	Device    string `json:"device,omitempty"`
+	Key       string `json:"key,omitempty"` // command type "Device.Name"
+	Procedure string `json:"procedure,omitempty"`
+	Run       string `json:"run,omitempty"`
+
+	// Snapshot asks for snapshot-then-follow: every matching record already
+	// committed to the middlebox's trace store is replayed (in sequence
+	// order, exactly once) before live delivery begins; the boundary is
+	// marked with an EventSnapshotEnd frame.
+	Snapshot bool `json:"snapshot,omitempty"`
+	// Power includes the UR3e power-telemetry feed alongside trace events.
+	Power bool `json:"power,omitempty"`
+
+	// Policy selects the overflow behaviour (PolicyDropOldest when empty);
+	// Buffer is the per-subscriber ring capacity (server-clamped).
+	Policy string `json:"policy,omitempty"`
+	Buffer int    `json:"buffer,omitempty"`
+}
+
+// Validate reports whether the frame is a well-formed subscription.
+func (s Subscribe) Validate() error {
+	if s.Op != OpSubscribe {
+		return fmt.Errorf("wire: subscribe frame has op %q, want %q", s.Op, OpSubscribe)
+	}
+	switch s.Policy {
+	case "", PolicyDropOldest, PolicyBlock:
+	default:
+		return fmt.Errorf("wire: unknown overflow policy %q", s.Policy)
+	}
+	if s.Buffer < 0 {
+		return fmt.Errorf("wire: negative buffer %d", s.Buffer)
+	}
+	return nil
+}
+
+// Event frame kinds.
+const (
+	// EventTrace carries one trace record.
+	EventTrace = "trace"
+	// EventPower carries one power-telemetry sample.
+	EventPower = "power"
+	// EventSnapshotEnd marks the end of the historical replay: every
+	// subsequent trace event was committed after the subscription attached.
+	EventSnapshotEnd = "snapshot-end"
+	// EventError reports a subscription failure; the server closes the
+	// connection after sending it.
+	EventError = "error"
+)
+
+// Event is one server → client tail frame.
+type Event struct {
+	Kind   string        `json:"kind"`
+	Record *store.Record `json:"record,omitempty"`
+	Sample *power.Sample `json:"sample,omitempty"`
+	// Dropped is the number of events shed for this subscriber (drop-oldest
+	// policy) since the previous frame — the drop accounting a tailer needs
+	// to know its view has holes.
+	Dropped uint64 `json:"dropped,omitempty"`
+	Error   string `json:"error,omitempty"`
+}

@@ -17,6 +17,7 @@ import (
 	dataset "rad/internal/rad"
 	"rad/internal/simclock"
 	"rad/internal/store"
+	"rad/internal/stream"
 	"rad/internal/tracedb"
 	"rad/internal/tracer"
 	"rad/internal/wire"
@@ -134,6 +135,11 @@ type TraceRecord = store.Record
 // TraceSink consumes trace records.
 type TraceSink = store.Sink
 
+// TraceNotifier is implemented by sinks that assign sequence numbers and
+// expose a commit hook (TraceStore, TraceDB); a Broker attaches to one to
+// publish records with their authoritative sequence numbers.
+type TraceNotifier = store.Notifier
+
 // TraceStore is the in-memory document store (the MongoDB analog).
 type TraceStore = store.MemStore
 
@@ -180,6 +186,86 @@ type TraceIterator = tracedb.Iterator
 // OpenTraceDB opens (or creates) a trace store directory, recovering and
 // truncating any torn tail left by a crash.
 var OpenTraceDB = tracedb.Open
+
+// --- Live streaming and online detection (internal/stream) ---
+
+// Broker is the live fan-out layer: a bounded pub/sub hub publishing every
+// committed trace record (and power sample) to per-subscriber ring buffers
+// with explicit overflow policies — the serving substrate for researchers
+// watching the lab live instead of mining completed campaigns.
+type Broker = stream.Broker
+
+// NewBroker returns an empty broker; attach it to a middlebox with
+// Middlebox.AttachBroker or to a store with Broker.AttachStore.
+var NewBroker = stream.NewBroker
+
+// Subscriber is one consumer's bounded ring; SubOptions configures the
+// subscription (name, buffer, policy, filter); SubscriberStats is its
+// delivery accounting.
+type (
+	Subscriber      = stream.Subscriber
+	SubOptions      = stream.SubOptions
+	SubscriberStats = stream.SubscriberStats
+)
+
+// StreamEvent is one published item — a trace record or power sample.
+type StreamEvent = stream.Event
+
+// Overflow policies: StreamDropOldest sheds a slow subscriber's oldest
+// events (the default — publishers never block); StreamBlock backpressures
+// the producer for lossless consumption.
+const (
+	StreamDropOldest = stream.DropOldest
+	StreamBlock      = stream.Block
+)
+
+// StreamTail is a snapshot-then-follow subscription: replay the store, then
+// the live feed, gap-free and duplicate-free.
+type StreamTail = stream.Tail
+
+// StreamServer serves a broker's feed over TCP (the radwatch protocol);
+// StreamClient is the consumer side.
+type (
+	StreamServer = stream.Server
+	StreamClient = stream.Client
+)
+
+// NewStreamServer wraps a broker (and an optional TraceDB for snapshot
+// replays); DialStream connects a client to a stream listener.
+var (
+	NewStreamServer = stream.NewServer
+	DialStream      = stream.Dial
+)
+
+// StreamSubscribe is the wire-protocol subscription request a stream client
+// sends (filters, snapshot, policy, buffer); StreamWireEvent is the framed
+// event the server answers with.
+type (
+	StreamSubscribe = wire.Subscribe
+	StreamWireEvent = wire.Event
+)
+
+// Wire-protocol stream event kinds and overflow-policy names.
+const (
+	StreamEventTrace       = wire.EventTrace
+	StreamEventPower       = wire.EventPower
+	StreamEventSnapshotEnd = wire.EventSnapshotEnd
+	StreamEventError       = wire.EventError
+	StreamPolicyDropOldest = wire.PolicyDropOldest
+	StreamPolicyBlock      = wire.PolicyBlock
+)
+
+// StreamIDS is the online intrusion detector: a sliding-window streaming
+// perplexity scorer plus the rule engine over a live feed, accumulating
+// structured StreamAlert records.
+type (
+	StreamIDS       = stream.IDS
+	StreamIDSConfig = stream.IDSConfig
+	StreamAlert     = stream.Alert
+)
+
+// NewStreamIDS builds an online detector from a trained PerplexityDetector.
+var NewStreamIDS = stream.NewIDS
 
 // --- The virtual lab and procedures ---
 
