@@ -4,13 +4,14 @@
 //
 // Usage:
 //
-//	radgen [-seed N] [-scale F] [-workers N] [-out DIR] [-format csv|jsonl|both] [-store DIR]
+//	radgen [-seed N] [-scale F] [-workers N] [-out DIR] [-format csv|jsonl|both] [-store DIR] [-dlq DIR]
 //
 // Generation is sharded across -workers goroutines; the output is
 // byte-identical for every worker count (see internal/rad's canonical
 // ordering). With -store, the campaign is additionally ingested into a
 // persistent tracedb directory, ready for radquery and radreplay without
-// regeneration.
+// regeneration; -dlq additionally folds a middlebox dead-letter directory
+// (batches spilled when the trace sinks failed) into that store.
 package main
 
 import (
@@ -38,11 +39,15 @@ func run(args []string) error {
 	out := fs.String("out", "rad-dataset", "output directory")
 	format := fs.String("format", "both", "command-dataset format: csv, jsonl, or both")
 	storeDir := fs.String("store", "", "also ingest the campaign into this tracedb directory")
+	dlqDir := fs.String("dlq", "", "dead-letter directory to re-ingest into -store (spills from a crashed or fault-injected middlebox)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *format != "csv" && *format != "jsonl" && *format != "both" {
 		return fmt.Errorf("unknown format %q", *format)
+	}
+	if *dlqDir != "" && *storeDir == "" {
+		return fmt.Errorf("-dlq requires -store (dead letters re-ingest into the tracedb)")
 	}
 
 	fmt.Printf("generating RAD (seed=%d scale=%.2f workers=%d)...\n", *seed, *scale, *workers)
@@ -66,10 +71,14 @@ func run(args []string) error {
 		}
 	}
 	if *storeDir != "" {
-		if err := writeTraceDB(*storeDir, records); err != nil {
+		reingested, err := writeTraceDB(*storeDir, *dlqDir, records)
+		if err != nil {
 			return err
 		}
 		fmt.Printf("ingested %d trace objects into tracedb at %s\n", len(records), *storeDir)
+		if *dlqDir != "" {
+			fmt.Printf("re-ingested %d dead-lettered records from %s\n", reingested, *dlqDir)
+		}
 	}
 	if err := writeRunIndex(filepath.Join(*out, "runs.csv"), ds.Runs); err != nil {
 		return err
@@ -92,24 +101,40 @@ func run(args []string) error {
 }
 
 // writeTraceDB ingests the campaign into a persistent tracedb store through
-// the Batcher flush boundary, so each flush lands as one on-disk block.
-func writeTraceDB(dir string, records []rad.TraceRecord) error {
+// the Batcher flush boundary, so each flush lands as one on-disk block. With
+// a dead-letter directory it then folds the spilled records of a crashed or
+// fault-injected middlebox into the same store, returning how many it
+// recovered.
+func writeTraceDB(dir, dlqDir string, records []rad.TraceRecord) (int, error) {
 	db, err := rad.OpenTraceDB(dir, rad.TraceDBOptions{})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	b := rad.NewTraceBatcher(db, 4096)
 	for _, r := range records {
 		if err := b.Append(r); err != nil {
 			db.Close()
-			return fmt.Errorf("ingest tracedb: %w", err)
+			return 0, fmt.Errorf("ingest tracedb: %w", err)
 		}
 	}
 	if err := b.Flush(); err != nil {
 		db.Close()
-		return fmt.Errorf("ingest tracedb: %w", err)
+		return 0, fmt.Errorf("ingest tracedb: %w", err)
 	}
-	return db.Close()
+	reingested := 0
+	if dlqDir != "" {
+		dlq, err := rad.OpenDLQ(dlqDir)
+		if err != nil {
+			db.Close()
+			return 0, fmt.Errorf("open dlq: %w", err)
+		}
+		reingested, err = db.Reingest(dlq)
+		if err != nil {
+			db.Close()
+			return 0, fmt.Errorf("dlq re-ingest: %w", err)
+		}
+	}
+	return reingested, db.Close()
 }
 
 func writeCommandCSV(path string, records []rad.TraceRecord) error {

@@ -26,6 +26,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"rad"
 	"rad/internal/device"
@@ -63,7 +64,18 @@ func run(args []string, stop <-chan struct{}) error {
 	withPower := fs.Bool("power", true, "attach the UR3e power monitor")
 	streamAddr := fs.String("stream", "", "live-stream listen address ('' disables)")
 	seed := fs.Uint64("seed", 1, "device simulation seed")
+	faultSpec := fs.String("fault-profile", "", "fault-injection profile: none, flaky, or chaos, with optional key=value overrides (e.g. flaky,hang=0.01)")
+	execTimeout := fs.Duration("exec-timeout", 0, "per-exec deadline (0 disables)")
+	execRetries := fs.Int("retries", 0, "extra attempts for idempotent commands after infrastructure failures")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive infrastructure failures that open a device's circuit breaker (0 disables)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 30*time.Second, "open-breaker cooldown before a half-open probe")
+	breakerProbes := fs.Int("breaker-probes", 1, "successful half-open probes required to close a breaker")
+	dlqDir := fs.String("dlq", "", "dead-letter directory: trace batches the sinks refuse spill here and re-ingest into -store on the next start ('' disables failover)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	faults, err := rad.ParseFaultProfile(*faultSpec)
+	if err != nil {
 		return err
 	}
 
@@ -122,7 +134,32 @@ func run(args []string, stop <-chan struct{}) error {
 	if tdb != nil {
 		seqSink = tdb
 	}
-	core := rad.NewMiddlebox(clock, &teeSink{sinks: sinks, seq: seqSink})
+	var sink rad.TraceSink = &teeSink{sinks: sinks, seq: seqSink}
+	if faults.SinkErrProb > 0 {
+		sink = rad.WrapFlakySink(sink, faults, *seed+9)
+	}
+	var dlq *rad.DeadLetterQueue
+	var failover *rad.FailoverSink
+	if *dlqDir != "" {
+		dlq, err = rad.OpenDLQ(*dlqDir)
+		if err != nil {
+			return err
+		}
+		// Fold dead letters from a previous run back into the store before
+		// serving: the middlebox restarts with nothing owed.
+		if tdb != nil {
+			n, err := tdb.Reingest(dlq)
+			if err != nil {
+				return fmt.Errorf("dlq re-ingest: %w", err)
+			}
+			if n > 0 {
+				fmt.Printf("dlq: re-ingested %d spilled records from %s\n", n, *dlqDir)
+			}
+		}
+		failover = rad.NewFailoverSink(sink, dlq)
+		sink = failover
+	}
+	core := rad.NewMiddlebox(clock, sink)
 
 	var monitor *power.Monitor
 	if *withPower {
@@ -149,11 +186,31 @@ func run(args []string, stop <-chan struct{}) error {
 			streamReady <- saddr
 		}
 	}
-	core.Register(c9.New(device.NewEnv(clock, *seed+1)))
-	core.Register(ur3e.New(device.NewEnv(clock, *seed+2), monitor))
-	core.Register(ika.New(device.NewEnv(clock, *seed+3)))
-	core.Register(tecan.New(device.NewEnv(clock, *seed+4)))
-	core.Register(quantos.New(device.NewEnv(clock, *seed+5)))
+	devices := []rad.Device{
+		c9.New(device.NewEnv(clock, *seed+1)),
+		ur3e.New(device.NewEnv(clock, *seed+2), monitor),
+		ika.New(device.NewEnv(clock, *seed+3)),
+		tecan.New(device.NewEnv(clock, *seed+4)),
+		quantos.New(device.NewEnv(clock, *seed+5)),
+	}
+	for i, d := range devices {
+		if faults.Active() {
+			d = rad.WrapFaultyDevice(d, clock, faults, *seed+10+uint64(i))
+		}
+		core.Register(d)
+	}
+	if *execTimeout > 0 || *execRetries > 0 || *breakerThreshold > 0 {
+		core.SetExecPolicy(rad.ExecPolicy{
+			Timeout:   *execTimeout,
+			Retries:   *execRetries,
+			RetrySeed: *seed,
+			Breaker: rad.BreakerConfig{
+				Threshold: *breakerThreshold,
+				Cooldown:  *breakerCooldown,
+				Probes:    *breakerProbes,
+			},
+		})
+	}
 
 	srv := rad.NewMiddleboxServer(core, profile, *seed+6)
 	addr, err := srv.Start(*listen)
@@ -161,6 +218,9 @@ func run(args []string, stop <-chan struct{}) error {
 		return err
 	}
 	fmt.Printf("middlebox listening on %s (network=%s, power=%t)\n", addr, *network, *withPower)
+	if faults.Active() {
+		fmt.Printf("fault injection active: %s\n", *faultSpec)
+	}
 	if listenReady != nil {
 		listenReady <- addr
 	}
@@ -177,6 +237,20 @@ func run(args []string, stop <-chan struct{}) error {
 	stats := core.Snapshot()
 	fmt.Printf("\nshut down: %d execs, %d trace uploads, %d pings, %d errors; %d records logged\n",
 		stats.Execs, stats.Traces, stats.Pings, stats.Errors, mem.Len())
+	res := stats.Resilience
+	if res.Timeouts+res.Retries+res.Shed+res.InfraErrors > 0 || len(res.Breakers) > 0 {
+		fmt.Printf("resilience: %d timeouts, %d retries, %d shed, %d infra errors\n",
+			res.Timeouts, res.Retries, res.Shed, res.InfraErrors)
+		for _, b := range res.Breakers {
+			fmt.Printf("  breaker %-8s %-9s opened %d, probed %d, shed %d\n",
+				b.Device, b.State, b.Opens, b.Probes, b.Sheds)
+		}
+	}
+	if failover != nil {
+		fst := failover.Stats()
+		fmt.Printf("failover: %d primary errors, %d batches (%d records) dead-lettered to %s\n",
+			fst.PrimaryErrors, fst.SpilledBatches, fst.SpilledRecords, dlq.Dir())
+	}
 	if streamSrv != nil {
 		if err := streamSrv.Close(); err != nil {
 			return err

@@ -198,3 +198,107 @@ func TestMiddleboxRejectsBadNetwork(t *testing.T) {
 		t.Error("bad network profile accepted")
 	}
 }
+
+// TestMiddleboxDLQFailoverAcrossRestarts poisons the trace sinks with
+// -fault-profile none,sink=1 so every append fails and spills to the
+// dead-letter queue, then restarts the middlebox healthy against the same
+// -store and -dlq and checks the spilled records were folded back in: the
+// lab loses nothing across a sink outage plus a restart.
+func TestMiddleboxDLQFailoverAcrossRestarts(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "tracedb")
+	dlqDir := filepath.Join(dir, "dlq")
+
+	boot := func(profile string) (stop chan struct{}, done chan error, addr string) {
+		t.Helper()
+		listenReady = make(chan string, 1)
+		stop = make(chan struct{})
+		done = make(chan error, 1)
+		go func() {
+			done <- run([]string{
+				"-listen", "127.0.0.1:0", "-trace", "", "-network", "none",
+				"-store", storeDir, "-dlq", dlqDir,
+				"-fault-profile", profile,
+				"-exec-timeout", "30s", "-retries", "2", "-breaker-threshold", "3",
+			}, stop)
+		}()
+		select {
+		case addr = <-listenReady:
+		case err := <-done:
+			t.Fatalf("server exited early: %v", err)
+		case <-time.After(5 * time.Second):
+			t.Fatal("server never came up")
+		}
+		return stop, done, addr
+	}
+	shutdown := func(stop chan struct{}, done chan error) {
+		t.Helper()
+		close(stop)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("shutdown: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("server never shut down")
+		}
+	}
+	drive := func(addr string, names ...string) {
+		t.Helper()
+		transport, err := rad.DialMiddlebox(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess := rad.NewTracingSession(transport, rad.RealClock{}, rad.TracingConfig{DefaultMode: rad.ModeRemote})
+		dev, err := sess.Virtual(rad.DeviceC9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range names {
+			if _, err := dev.Exec(rad.Command{Name: name}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_ = sess.Close()
+	}
+
+	// Run 1: every sink append fails; both commands must dead-letter.
+	stop, done, addr := boot("none,sink=1")
+	drive(addr, device.Init, "MVNG")
+	shutdown(stop, done)
+
+	dlq, err := rad.OpenDLQ(dlqDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files, err := dlq.Pending(); err != nil || len(files) != 2 {
+		t.Fatalf("dlq pending = %v, %v; want 2 spill files", files, err)
+	}
+
+	// Run 2: healthy sinks; startup re-ingest folds the dead letters in,
+	// and a fresh command lands directly.
+	stop, done, addr = boot("")
+	drive(addr, device.Init, "MVNG")
+	shutdown(stop, done)
+
+	if files, err := dlq.Pending(); err != nil || len(files) != 0 {
+		t.Fatalf("dlq pending after restart = %v, %v; want none", files, err)
+	}
+	db, err := rad.OpenTraceDB(storeDir, rad.TraceDBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	recs, err := db.Collect(rad.TraceQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("recovered store has %d records, want 4 (2 re-ingested + 2 live)", len(recs))
+	}
+	for _, r := range recs {
+		if r.Device != rad.DeviceC9 {
+			t.Errorf("unexpected record: %+v", r)
+		}
+	}
+}

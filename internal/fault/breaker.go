@@ -1,0 +1,232 @@
+package fault
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rad/internal/simclock"
+)
+
+// BreakerConfig tunes a circuit breaker. The zero value of Threshold
+// disables the breaker entirely (NewBreaker returns nil).
+type BreakerConfig struct {
+	// Threshold is the number of consecutive infrastructure failures that
+	// trips the breaker open. <= 0 disables the breaker.
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe. Defaults to DefaultCooldown.
+	Cooldown time.Duration
+	// Probes is the number of consecutive successful half-open probes
+	// required to close the breaker again. Defaults to 1.
+	Probes int
+}
+
+// DefaultCooldown is the open→half-open delay when the config leaves
+// Cooldown unset.
+const DefaultCooldown = 30 * time.Second
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests are shed until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe at a time is admitted; its outcome
+	// decides between closing and re-opening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "invalid"
+	}
+}
+
+// Breaker is a per-device circuit breaker: closed → open after Threshold
+// consecutive infrastructure failures, open → half-open after Cooldown,
+// half-open → closed after Probes successful probes (or back to open on a
+// probe failure). Safe for concurrent use; the closed-state fast path is
+// one atomic load, so a healthy device pays almost nothing.
+type Breaker struct {
+	name  string
+	clock simclock.Clock
+	cfg   BreakerConfig
+
+	// status packs the position (high 32 bits) and the consecutive
+	// infra-failure count while closed (low 32 bits) into one word, so
+	// "closed with a clean streak" — the Done fast path — is a single
+	// atomic load compared against zero, cheap enough that Allow and Done
+	// inline into the middlebox exec hot path. Writes happen under mu.
+	status atomic.Uint64
+
+	mu        sync.Mutex // guards transitions and the slow-path fields
+	reopenAt  time.Time  // when an open breaker admits a probe
+	probing   bool       // a half-open probe is in flight
+	successes int        // consecutive successful probes while half-open
+	opens     uint64     // transitions into the open state
+	probes    uint64     // half-open probes admitted
+	sheds     uint64     // requests rejected while open/half-open
+}
+
+// NewBreaker builds a breaker for the named device. A non-positive
+// Threshold returns nil; a nil *Breaker admits everything and records
+// nothing, so callers can hold one unconditionally.
+func NewBreaker(name string, clock simclock.Clock, cfg BreakerConfig) *Breaker {
+	if cfg.Threshold <= 0 {
+		return nil
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = DefaultCooldown
+	}
+	if cfg.Probes <= 0 {
+		cfg.Probes = 1
+	}
+	return &Breaker{name: name, clock: clock, cfg: cfg}
+}
+
+// Allow reports whether a request may proceed. When the breaker is open
+// past its cooldown it transitions to half-open and admits the caller as
+// the probe; while a probe is in flight (or the cooldown is still
+// running) requests are shed.
+func (b *Breaker) Allow() bool {
+	// Kept to a nil check and one atomic load so it inlines into the exec
+	// hot path; everything stateful lives in allowSlow.
+	if b == nil || BreakerState(b.status.Load()>>32) == BreakerClosed {
+		return true
+	}
+	return b.allowSlow()
+}
+
+func (b *Breaker) allowSlow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.stateLocked() {
+	case BreakerClosed: // raced with a close; admit
+		return true
+	case BreakerOpen:
+		if b.clock.Now().Before(b.reopenAt) {
+			b.sheds++
+			return false
+		}
+		b.setLocked(BreakerHalfOpen, 0)
+		b.successes = 0
+		fallthrough
+	default: // half-open
+		if b.probing {
+			b.sheds++
+			return false
+		}
+		b.probing = true
+		b.probes++
+		return true
+	}
+}
+
+// Done reports an admitted request's outcome: infra is true when the
+// request failed with an infrastructure error (IsInfra), false for a
+// success or a device-reported command error (a device that answers is a
+// healthy device).
+func (b *Breaker) Done(infra bool) {
+	// Fast path — healthy device, closed breaker, clean streak — shaped
+	// to inline into the exec hot path like Allow: status == 0 is exactly
+	// "closed with zero consecutive failures".
+	if b == nil || (!infra && b.status.Load() == 0) {
+		return
+	}
+	b.doneSlow(infra)
+}
+
+func (b *Breaker) doneSlow(infra bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.stateLocked() {
+	case BreakerClosed:
+		if !infra {
+			b.setLocked(BreakerClosed, 0)
+			return
+		}
+		f := b.failuresLocked() + 1
+		b.setLocked(BreakerClosed, f)
+		if f >= int32(b.cfg.Threshold) {
+			b.tripLocked()
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		if infra {
+			b.tripLocked()
+			return
+		}
+		b.successes++
+		if b.successes >= b.cfg.Probes {
+			b.setLocked(BreakerClosed, 0)
+		}
+	case BreakerOpen:
+		// A stale attempt admitted before the trip finished; its outcome
+		// no longer matters.
+	}
+}
+
+// stateLocked, failuresLocked, and setLocked unpack and pack the status
+// word; callers hold b.mu (plain loads of status are safe anywhere, but
+// read-modify-write must be serialized).
+func (b *Breaker) stateLocked() BreakerState { return BreakerState(b.status.Load() >> 32) }
+func (b *Breaker) failuresLocked() int32     { return int32(uint32(b.status.Load())) }
+func (b *Breaker) setLocked(s BreakerState, failures int32) {
+	b.status.Store(uint64(s)<<32 | uint64(uint32(failures)))
+}
+
+// tripLocked moves the breaker to open and starts the cooldown. The
+// failure count carries over (it reads as Threshold while open; a close
+// resets it).
+func (b *Breaker) tripLocked() {
+	b.setLocked(BreakerOpen, b.failuresLocked())
+	b.reopenAt = b.clock.Now().Add(b.cfg.Cooldown)
+	b.probing = false
+	b.opens++
+}
+
+// State returns the breaker's current position.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	return BreakerState(b.status.Load() >> 32)
+}
+
+// BreakerStats is one breaker's observability snapshot.
+type BreakerStats struct {
+	Device   string
+	State    string
+	Opens    uint64 // transitions into open (including re-opens from half-open)
+	Probes   uint64 // half-open probes admitted
+	Sheds    uint64 // requests rejected while open/half-open
+	Failures int    // current consecutive-failure count while closed
+}
+
+// Stats snapshots the breaker's counters. A nil breaker reports a zero
+// value.
+func (b *Breaker) Stats() BreakerStats {
+	if b == nil {
+		return BreakerStats{State: BreakerClosed.String()}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		Device:   b.name,
+		State:    b.stateLocked().String(),
+		Opens:    b.opens,
+		Probes:   b.probes,
+		Sheds:    b.sheds,
+		Failures: int(b.failuresLocked()),
+	}
+}

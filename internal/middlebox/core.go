@@ -13,11 +13,13 @@ package middlebox
 
 import (
 	"fmt"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rad/internal/device"
+	"rad/internal/fault"
 	"rad/internal/simclock"
 	"rad/internal/store"
 	"rad/internal/stream"
@@ -32,8 +34,25 @@ type Core struct {
 	// without taking any lock.
 	sink store.Sink
 
-	mu      sync.RWMutex
-	devices map[string]device.Device
+	mu       sync.RWMutex
+	devices  map[string]device.Device
+	breakers map[string]*fault.Breaker // per-device, only when hardened
+
+	// Resilience machinery (see exec.go). policy/hardened/virtual are
+	// immutable after SetExecPolicy; the zero policy keeps the seed-exact
+	// single-attempt exec path.
+	policy   ExecPolicy
+	hardened bool
+	virtual  bool // clock advances without blocking (simclock.Virtual)
+	// realDeadline: attempts need the goroutine-and-timer guard of
+	// execDeadlined (real clock with a timeout configured); otherwise the
+	// deadline is a post-hoc virtual-elapsed check.
+	realDeadline bool
+
+	idempotent map[string]bool // "Device.Name" -> safe to retry
+
+	retryMu  sync.Mutex
+	retryRng *rand.Rand
 
 	// broker, when attached, fans every committed trace record out to live
 	// subscribers (radwatch tails, the online IDS). Immutable after
@@ -49,6 +68,12 @@ type Core struct {
 	traces atomic.Uint64
 	pings  atomic.Uint64
 	errors atomic.Uint64
+
+	// Resilience counters (hardened exec path only).
+	timeouts  atomic.Uint64 // attempts that exceeded the exec deadline
+	retries   atomic.Uint64 // extra attempts made for idempotent commands
+	shed      atomic.Uint64 // requests rejected by an open breaker
+	infraErrs atomic.Uint64 // infra-classified attempt failures
 }
 
 // Stats counts the requests a middlebox has served.
@@ -60,6 +85,9 @@ type Stats struct {
 	// Subscribers holds per-subscriber live-stream delivery accounting when a
 	// broker is attached (nil otherwise).
 	Subscribers []stream.SubscriberStats
+	// Resilience reports the hardened exec path's activity (zero when no
+	// ExecPolicy is set).
+	Resilience Resilience
 }
 
 // NewCore builds a middlebox core logging to sink (which may be nil to
@@ -83,11 +111,15 @@ func (c *Core) AttachBroker(b *stream.Broker) {
 }
 
 // Register connects a device to the middlebox. Registering a device with a
-// name already in use replaces the previous registration.
+// name already in use replaces the previous registration (and resets its
+// circuit breaker when one is configured).
 func (c *Core) Register(d device.Device) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.devices[d.Name()] = d
+	if c.hardened {
+		c.breakers[d.Name()] = fault.NewBreaker(d.Name(), c.clock, c.policy.Breaker)
+	}
 }
 
 // Device returns the registered device with the given name, if any.
@@ -109,6 +141,7 @@ func (c *Core) Snapshot() Stats {
 		Pings:       c.pings.Load(),
 		Errors:      c.errors.Load(),
 		Subscribers: c.broker.Stats(), // nil-safe: nil broker reports nil
+		Resilience:  c.resilience(),
 	}
 }
 
@@ -139,14 +172,45 @@ func (c *Core) Handle(req wire.Request) wire.Reply {
 }
 
 func (c *Core) handleExec(req wire.Request) wire.Reply {
-	d, ok := c.Device(req.Device)
+	d, br, ok := c.lookup(req.Device)
 	if !ok {
 		c.errors.Add(1)
 		return wire.Reply{ID: req.ID, Error: fmt.Sprintf("middlebox: device %q not registered", req.Device)}
 	}
+	if !br.Allow() {
+		return c.shedExec(req)
+	}
+	cmd := device.Command{Device: req.Device, Name: req.Name, Args: req.Args}
 	start := c.clock.Now()
-	value, err := d.Exec(device.Command{Device: req.Device, Name: req.Name, Args: req.Args})
-	end := c.clock.Now()
+	var value string
+	var err error
+	var end time.Time
+	if !c.hardened {
+		value, err = d.Exec(cmd)
+		end = c.clock.Now()
+	} else {
+		// First attempt, inlined (see execAttempt): the fault-free hot
+		// path pays only the breaker's two-atomic-load bookkeeping and
+		// one deadline comparison over the legacy path above.
+		if c.realDeadline {
+			value, end, err = c.execDeadlined(d, cmd)
+		} else {
+			value, err = d.Exec(cmd)
+			end = c.clock.Now()
+			if t := c.policy.Timeout; t > 0 && end.Sub(start) > t {
+				c.timeouts.Add(1)
+				value = ""
+				err = fmt.Errorf("middlebox: %s: %w (timeout %s)", cmd.Device, fault.ErrDeadline, t)
+			}
+		}
+		if infra := err != nil && fault.IsInfra(err); infra {
+			br.Done(true)
+			c.infraErrs.Add(1)
+			value, end, err = c.execRetry(d, br, cmd, value, end, err)
+		} else {
+			br.Done(false)
+		}
+	}
 
 	rec := store.Record{
 		Time: start, EndTime: end,

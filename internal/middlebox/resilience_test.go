@@ -1,0 +1,278 @@
+package middlebox
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rad/internal/device"
+	"rad/internal/device/c9"
+	"rad/internal/fault"
+	"rad/internal/simclock"
+	"rad/internal/store"
+	"rad/internal/wire"
+)
+
+// flakyNTimes fails its first n Execs with an infrastructure fault, then
+// answers normally. It stands in for a link that heals mid-retry-loop.
+type flakyNTimes struct {
+	name    string
+	n       int
+	calls   int
+	answer  string
+	devErr  error // non-infra error to return instead of answering (optional)
+	infraAt func(call int) bool
+}
+
+func (d *flakyNTimes) Name() string { return d.name }
+func (d *flakyNTimes) Exec(cmd device.Command) (string, error) {
+	d.calls++
+	if d.calls <= d.n {
+		return "", &fault.Fault{Kind: fault.KindReset, Target: d.name}
+	}
+	if d.devErr != nil {
+		return "", d.devErr
+	}
+	return d.answer, nil
+}
+
+func rexec(core *Core, id uint64, dev, name string, args ...string) wire.Reply {
+	return core.Handle(wire.Request{ID: id, Op: wire.OpExec, Device: dev, Name: name, Args: args})
+}
+
+func TestExecDeadlineVirtualClock(t *testing.T) {
+	clock := simclock.NewVirtual(time.Date(2021, 10, 1, 9, 0, 0, 0, time.UTC))
+	sink := store.NewMemStore()
+	core := NewCore(clock, sink)
+	inner := c9.New(device.NewEnv(clock, 1))
+	faulty := fault.WrapDevice(inner, clock, fault.None(), 1)
+	core.Register(faulty)
+	core.SetExecPolicy(ExecPolicy{Timeout: 5 * time.Second})
+
+	if r := rexec(core, 1, "C9", device.Init); r.Error != "" {
+		t.Fatalf("init: %s", r.Error)
+	}
+	faulty.SetProfile(fault.Profile{HangProb: 1, HangFor: 45 * time.Second})
+	start := clock.Now()
+	reply := rexec(core, 2, "C9", "MVNG")
+	if !strings.Contains(reply.Error, "exec deadline exceeded") {
+		t.Fatalf("hung exec reply = %+v", reply)
+	}
+	// The hang charged its full virtual duration (the device really was
+	// silent that long in simulated time) but the caller got an error.
+	if got := clock.Now().Sub(start); got != 45*time.Second {
+		t.Errorf("virtual hang advanced %v, want 45s", got)
+	}
+	res := core.Snapshot().Resilience
+	if res.Timeouts != 1 || res.InfraErrors != 1 {
+		t.Errorf("resilience = %+v, want 1 timeout / 1 infra error", res)
+	}
+	recs := sink.All()
+	last := recs[len(recs)-1]
+	if !strings.Contains(last.Exception, "exec deadline exceeded") {
+		t.Errorf("trace exception = %q", last.Exception)
+	}
+}
+
+func TestExecDeadlineRealClock(t *testing.T) {
+	clock := simclock.Real{}
+	core := NewCore(clock, store.NewMemStore())
+	core.Register(&hangingDev{name: "C9", hang: 200 * time.Millisecond})
+	core.SetExecPolicy(ExecPolicy{Timeout: 20 * time.Millisecond})
+
+	start := time.Now()
+	reply := rexec(core, 1, "C9", "MVNG")
+	if !strings.Contains(reply.Error, "exec deadline exceeded") {
+		t.Fatalf("reply = %+v", reply)
+	}
+	if waited := time.Since(start); waited > 150*time.Millisecond {
+		t.Errorf("deadline returned after %v, want ~20ms", waited)
+	}
+	if core.Snapshot().Resilience.Timeouts != 1 {
+		t.Error("timeout not counted")
+	}
+}
+
+// hangingDev sleeps in real time before answering.
+type hangingDev struct {
+	name string
+	hang time.Duration
+}
+
+func (d *hangingDev) Name() string { return d.name }
+func (d *hangingDev) Exec(cmd device.Command) (string, error) {
+	time.Sleep(d.hang)
+	return "late", nil
+}
+
+func TestIdempotentCommandsRetry(t *testing.T) {
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	core := NewCore(clock, store.NewMemStore())
+	dev := &flakyNTimes{name: "C9", n: 2, answer: "0"}
+	core.Register(dev)
+	core.SetExecPolicy(ExecPolicy{Retries: 3, RetrySeed: 11})
+
+	start := clock.Now()
+	// MVNG is read-only in the catalog: two infra failures, then success.
+	reply := rexec(core, 1, "C9", "MVNG")
+	if reply.Error != "" || reply.Value != "0" {
+		t.Fatalf("retried exec reply = %+v", reply)
+	}
+	if dev.calls != 3 {
+		t.Fatalf("device saw %d attempts, want 3", dev.calls)
+	}
+	// Backoff between attempts is charged to the (virtual) clock.
+	if clock.Now().Sub(start) <= 0 {
+		t.Error("retry backoff charged no time")
+	}
+	res := core.Snapshot().Resilience
+	if res.Retries != 2 || res.InfraErrors != 2 {
+		t.Errorf("resilience = %+v, want 2 retries / 2 infra errors", res)
+	}
+}
+
+func TestMutatingCommandsNeverRetry(t *testing.T) {
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	core := NewCore(clock, store.NewMemStore())
+	dev := &flakyNTimes{name: "C9", n: 1, answer: "ok"}
+	core.Register(dev)
+	core.SetExecPolicy(ExecPolicy{Retries: 3, RetrySeed: 11})
+
+	// MOVE mutates arm state: a lost response may mean it executed, so the
+	// single infra failure must surface instead of being retried.
+	reply := rexec(core, 1, "C9", "MOVE", "10", "20", "30", "40")
+	if reply.Error == "" || !strings.Contains(reply.Error, "injected fault") {
+		t.Fatalf("mutating exec reply = %+v", reply)
+	}
+	if dev.calls != 1 {
+		t.Fatalf("device saw %d attempts, want exactly 1", dev.calls)
+	}
+	if res := core.Snapshot().Resilience; res.Retries != 0 {
+		t.Errorf("retries = %d, want 0", res.Retries)
+	}
+}
+
+func TestDeviceErrorsDoNotRetryOrTripBreaker(t *testing.T) {
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	core := NewCore(clock, store.NewMemStore())
+	core.Register(c9.New(device.NewEnv(clock, 1)))
+	core.SetExecPolicy(ExecPolicy{
+		Retries: 3,
+		Breaker: fault.BreakerConfig{Threshold: 2, Cooldown: time.Minute},
+	})
+	if r := rexec(core, 1, "C9", device.Init); r.Error != "" {
+		t.Fatalf("init: %s", r.Error)
+	}
+	// An unknown command is a device-reported answer, not an outage: the
+	// device rejects it every time, with no retries and no breaker damage.
+	for i := 0; i < 5; i++ {
+		if r := rexec(core, uint64(2+i), "C9", "BOGUS"); r.Error == "" {
+			t.Fatal("BOGUS accepted")
+		}
+	}
+	res := core.Snapshot().Resilience
+	if res.Retries != 0 || res.InfraErrors != 0 {
+		t.Errorf("device errors leaked into resilience accounting: %+v", res)
+	}
+	if len(res.Breakers) != 1 || res.Breakers[0].State != "closed" {
+		t.Errorf("breaker = %+v, want closed", res.Breakers)
+	}
+}
+
+// TestBreakerOpensAndRecovers drives the full outage arc the issue
+// describes: sustained hangs trip the breaker, shed requests produce
+// synthetic DEVICE_UNAVAILABLE trace records, and after the cooldown a
+// half-open probe against the healed device closes it again — all visible
+// through Core.Snapshot.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	clock := simclock.NewVirtual(time.Date(2021, 10, 1, 9, 0, 0, 0, time.UTC))
+	sink := store.NewMemStore()
+	core := NewCore(clock, sink)
+	inner := c9.New(device.NewEnv(clock, 1))
+	faulty := fault.WrapDevice(inner, clock, fault.None(), 3)
+	core.Register(faulty)
+	core.SetExecPolicy(ExecPolicy{
+		Timeout: 5 * time.Second,
+		Breaker: fault.BreakerConfig{Threshold: 3, Cooldown: 2 * time.Minute, Probes: 1},
+	})
+	if r := rexec(core, 1, "C9", device.Init); r.Error != "" {
+		t.Fatalf("init: %s", r.Error)
+	}
+
+	// The device goes silent: three straight deadline blowouts trip the
+	// breaker.
+	faulty.SetProfile(fault.Profile{HangProb: 1, HangFor: 45 * time.Second})
+	for i := 0; i < 3; i++ {
+		if r := rexec(core, uint64(10+i), "C9", "MVNG"); !strings.Contains(r.Error, "exec deadline exceeded") {
+			t.Fatalf("hang %d reply = %+v", i, r)
+		}
+	}
+	res := core.Snapshot().Resilience
+	if len(res.Breakers) != 1 || res.Breakers[0].State != "open" {
+		t.Fatalf("after 3 hangs breaker = %+v, want open", res.Breakers)
+	}
+
+	// While open, requests shed instantly — no 45s hang, an immediate
+	// DEVICE_UNAVAILABLE reply, and a synthetic trace record.
+	before := clock.Now()
+	recsBefore := sink.Len()
+	reply := rexec(core, 20, "C9", "MVNG")
+	if !strings.Contains(reply.Error, DeviceUnavailable) {
+		t.Fatalf("shed reply = %+v", reply)
+	}
+	if clock.Now() != before {
+		t.Error("shed request consumed device time")
+	}
+	recs := sink.All()
+	if len(recs) != recsBefore+1 {
+		t.Fatalf("shed request logged %d records, want 1", len(recs)-recsBefore)
+	}
+	synthetic := recs[len(recs)-1]
+	if !strings.Contains(synthetic.Exception, DeviceUnavailable) || synthetic.Mode != "REMOTE" {
+		t.Errorf("synthetic record = %+v", synthetic)
+	}
+	if synthetic.Time != synthetic.EndTime {
+		t.Error("synthetic record should be zero-latency")
+	}
+	if res := core.Snapshot().Resilience; res.Shed != 1 {
+		t.Errorf("shed = %d, want 1", res.Shed)
+	}
+
+	// The device heals; once the cooldown passes, the next request is the
+	// half-open probe, it succeeds, and the breaker closes.
+	faulty.SetProfile(fault.None())
+	clock.Advance(2 * time.Minute)
+	if r := rexec(core, 30, "C9", "MVNG"); r.Error != "" {
+		t.Fatalf("probe reply = %+v", r)
+	}
+	res = core.Snapshot().Resilience
+	if res.Breakers[0].State != "closed" {
+		t.Fatalf("after probe success breaker = %+v, want closed", res.Breakers[0])
+	}
+	if res.Breakers[0].Opens != 1 || res.Breakers[0].Probes != 1 {
+		t.Errorf("breaker counters = %+v", res.Breakers[0])
+	}
+	// And normal traffic flows again.
+	if r := rexec(core, 31, "C9", "MVNG"); r.Error != "" {
+		t.Fatalf("post-recovery exec: %+v", r)
+	}
+}
+
+// TestZeroPolicyKeepsLegacyPath pins the golden-hash guarantee: a core
+// without SetExecPolicy must not consult breakers, retries, or deadlines.
+func TestZeroPolicyKeepsLegacyPath(t *testing.T) {
+	core, sink, _ := newTestCore(t)
+	if r := rexec(core, 1, "C9", device.Init); r.Error != "" {
+		t.Fatalf("init: %s", r.Error)
+	}
+	if r := rexec(core, 2, "C9", "MVNG"); r.Error != "" {
+		t.Fatalf("exec: %+v", r)
+	}
+	res := core.Snapshot().Resilience
+	if res.Timeouts != 0 || res.Retries != 0 || res.Shed != 0 || res.InfraErrors != 0 || len(res.Breakers) != 0 {
+		t.Errorf("legacy core reported resilience activity: %+v", res)
+	}
+	if sink.Len() != 2 {
+		t.Errorf("logged %d records, want 2", sink.Len())
+	}
+}

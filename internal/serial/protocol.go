@@ -50,15 +50,16 @@ func decodeRequest(line string) (name string, args []string, err error) {
 // link closes.
 type Firmware struct {
 	dev  device.Device
-	port *Port
+	port Line
 
 	mu   sync.Mutex
 	reqs uint64
 	errs uint64
 }
 
-// NewFirmware binds a device to the device end of a serial link.
-func NewFirmware(dev device.Device, port *Port) *Firmware {
+// NewFirmware binds a device to the device end of a serial link (any Line,
+// so fault injectors can sit between the firmware and its port).
+func NewFirmware(dev device.Device, port Line) *Firmware {
 	return &Firmware{dev: dev, port: port}
 }
 
@@ -119,14 +120,14 @@ func (e *RemoteDeviceError) Error() string { return e.Msg }
 type Client struct {
 	name string
 	mu   sync.Mutex
-	port *Port
+	port Line
 }
 
 var _ device.Device = (*Client)(nil)
 
 // NewClient wraps the lab-computer end of a serial link for the named
-// device.
-func NewClient(name string, port *Port) *Client {
+// device (any Line, so fault injectors can sit between driver and port).
+func NewClient(name string, port Line) *Client {
 	return &Client{name: name, port: port}
 }
 

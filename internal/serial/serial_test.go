@@ -218,3 +218,56 @@ func TestClientConcurrentExecSerialized(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestReadLineHonorsReadTimeout(t *testing.T) {
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	a, b := Pipe(clock, clock, DefaultBaud)
+	defer a.Close()
+
+	// A silent peer must not hang the reader forever: the deadline fires
+	// even though virtual time never advances.
+	b.SetReadTimeout(30 * time.Millisecond)
+	start := time.Now()
+	if _, err := b.ReadLine(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("silent peer: ReadLine = %v, want ErrTimeout", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("timeout took %v, deadline not honored", waited)
+	}
+
+	// The port recovers: once data arrives the next read succeeds.
+	if err := a.WriteLine("IN_PV_4"); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := b.ReadLine(); err != nil || got != "IN_PV_4" {
+		t.Fatalf("read after recovery = %q, %v", got, err)
+	}
+
+	// A partial line counts as data, but a never-arriving terminator still
+	// trips the deadline — the driver's mid-exchange silence case.
+	if _, err := a.Write([]byte("IN_P")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ReadLine(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("mid-line silence: ReadLine = %v, want ErrTimeout", err)
+	}
+
+	// Zero restores block-forever semantics.
+	b.SetReadTimeout(0)
+	got := make(chan string, 1)
+	go func() {
+		line, _ := b.ReadLine()
+		got <- line
+	}()
+	if err := a.WriteLine("V_4"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case line := <-got:
+		if line != "V_4" {
+			t.Fatalf("post-reset read = %q", line)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocking read never completed")
+	}
+}

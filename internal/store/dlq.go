@@ -1,0 +1,186 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DeadLetterQueue is a disk-backed spill area for trace batches a primary
+// sink refused: each failed batch lands as its own JSONL spill file
+// (written to a temp name, then renamed, so a crash never leaves a
+// half-readable spill), and Drain re-ingests the files in spill order once
+// the primary recovers. Together with FailoverSink it is the middlebox's
+// guarantee that an accepted record survives a flaky store.
+type DeadLetterQueue struct {
+	dir string
+
+	mu   sync.Mutex
+	next int // next spill file id
+
+	spilledBatches atomic.Uint64
+	spilledRecords atomic.Uint64
+}
+
+const (
+	dlqPrefix = "dlq-"
+	dlqSuffix = ".jsonl"
+)
+
+// OpenDLQ opens (or creates) a dead-letter directory. Spill numbering
+// resumes after the highest existing spill file, so a re-opened queue
+// never overwrites pending dead letters.
+func OpenDLQ(dir string) (*DeadLetterQueue, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dlq: %w", err)
+	}
+	q := &DeadLetterQueue{dir: dir}
+	files, err := q.Pending()
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range files {
+		if id, ok := parseSpillID(filepath.Base(f)); ok && id >= q.next {
+			q.next = id + 1
+		}
+	}
+	return q, nil
+}
+
+// Dir returns the queue's directory.
+func (q *DeadLetterQueue) Dir() string { return q.dir }
+
+func spillName(id int) string { return fmt.Sprintf("%s%06d%s", dlqPrefix, id, dlqSuffix) }
+
+func parseSpillID(name string) (int, bool) {
+	if !strings.HasPrefix(name, dlqPrefix) || !strings.HasSuffix(name, dlqSuffix) {
+		return 0, false
+	}
+	id, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, dlqPrefix), dlqSuffix))
+	if err != nil || id < 0 {
+		return 0, false
+	}
+	return id, true
+}
+
+// Spill persists one failed batch as a new spill file. The write goes to a
+// temporary name first and is renamed into place, so Drain never observes
+// a torn spill.
+func (q *DeadLetterQueue) Spill(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	id := q.next
+	final := filepath.Join(q.dir, spillName(id))
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("dlq: spill: %w", err)
+	}
+	w := NewJSONLWriter(f)
+	if err := w.AppendBatch(recs); err == nil {
+		err = w.Flush()
+	} else {
+		_ = w.Flush()
+	}
+	if err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("dlq: spill: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("dlq: spill: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("dlq: spill: %w", err)
+	}
+	q.next = id + 1
+	q.spilledBatches.Add(1)
+	q.spilledRecords.Add(uint64(len(recs)))
+	return nil
+}
+
+// Pending returns the queue's spill files, oldest first.
+func (q *DeadLetterQueue) Pending() ([]string, error) {
+	entries, err := os.ReadDir(q.dir)
+	if err != nil {
+		return nil, fmt.Errorf("dlq: %w", err)
+	}
+	type spill struct {
+		id   int
+		path string
+	}
+	var spills []spill
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if id, ok := parseSpillID(e.Name()); ok {
+			spills = append(spills, spill{id, filepath.Join(q.dir, e.Name())})
+		}
+	}
+	sort.Slice(spills, func(i, j int) bool { return spills[i].id < spills[j].id })
+	paths := make([]string, len(spills))
+	for i, s := range spills {
+		paths[i] = s.path
+	}
+	return paths, nil
+}
+
+// Drain re-ingests every pending spill, oldest first: each file's batch is
+// handed to fn and the file is deleted only after fn succeeds, so a crash
+// mid-drain re-delivers (at-least-once) rather than loses. It returns the
+// number of records re-ingested; on error, already-drained files stay
+// deleted and the failing spill remains pending.
+func (q *DeadLetterQueue) Drain(fn func(recs []Record) error) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	files, err := q.Pending()
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return total, fmt.Errorf("dlq: drain %s: %w", path, err)
+		}
+		recs, err := ReadJSONL(f)
+		_ = f.Close()
+		if err != nil {
+			return total, fmt.Errorf("dlq: drain %s: %w", path, err)
+		}
+		if err := fn(recs); err != nil {
+			return total, fmt.Errorf("dlq: drain %s: %w", path, err)
+		}
+		if err := os.Remove(path); err != nil {
+			return total, fmt.Errorf("dlq: drain %s: %w", path, err)
+		}
+		total += len(recs)
+	}
+	return total, nil
+}
+
+// DLQStats counts what the queue has absorbed since it was opened.
+type DLQStats struct {
+	SpilledBatches uint64
+	SpilledRecords uint64
+}
+
+// Stats snapshots the spill counters (this process's spills only; pending
+// files from an earlier run are visible through Pending, not here).
+func (q *DeadLetterQueue) Stats() DLQStats {
+	return DLQStats{
+		SpilledBatches: q.spilledBatches.Load(),
+		SpilledRecords: q.spilledRecords.Load(),
+	}
+}

@@ -1,0 +1,78 @@
+package store
+
+import (
+	"sync/atomic"
+)
+
+// FailoverSink makes a primary sink's Append path lossless under write
+// errors: a record or batch the primary refuses is spilled to a
+// disk-backed DeadLetterQueue instead of being dropped, and the append
+// reports success — the record is accepted, just deferred. Re-ingest the
+// queue into the primary once it recovers (tracedb.DB.Reingest, or any
+// Drain loop).
+//
+// Failover is at-least-once at the batch granularity: if a per-record
+// fallback half-commits a batch before erroring, the whole batch is
+// spilled and the committed prefix will appear twice after re-ingest.
+// With the repo's sinks (MemStore, tracedb) batches commit atomically, so
+// this does not arise in practice.
+type FailoverSink struct {
+	primary Sink
+	dlq     *DeadLetterQueue
+
+	primaryErrs atomic.Uint64
+}
+
+var (
+	_ Sink      = (*FailoverSink)(nil)
+	_ BatchSink = (*FailoverSink)(nil)
+)
+
+// NewFailoverSink wraps primary with spill-to-dlq failover.
+func NewFailoverSink(primary Sink, dlq *DeadLetterQueue) *FailoverSink {
+	return &FailoverSink{primary: primary, dlq: dlq}
+}
+
+// Append implements Sink. It only fails when both the primary and the
+// dead-letter disk refuse the record.
+func (s *FailoverSink) Append(r Record) error {
+	if err := s.primary.Append(r); err != nil {
+		s.primaryErrs.Add(1)
+		return s.dlq.Spill([]Record{r})
+	}
+	return nil
+}
+
+// AppendBatch implements BatchSink; a refused batch is spilled whole,
+// preserving the flush boundary for re-ingest.
+func (s *FailoverSink) AppendBatch(recs []Record) error {
+	if err := AppendAll(s.primary, recs); err != nil {
+		s.primaryErrs.Add(1)
+		return s.dlq.Spill(recs)
+	}
+	return nil
+}
+
+// SetOnCommit implements Notifier when the primary does, so a broker
+// attached above a failover sink still sees authoritative sequence
+// numbers. Spilled records are not committed and therefore not published
+// until re-ingest lands them in the primary.
+func (s *FailoverSink) SetOnCommit(fn func(recs []Record)) {
+	if n, ok := s.primary.(Notifier); ok {
+		n.SetOnCommit(fn)
+	}
+}
+
+// FailoverStats counts the sink's failover activity.
+type FailoverStats struct {
+	PrimaryErrors uint64 // appends the primary refused
+	DLQStats             // what the queue absorbed
+}
+
+// Stats snapshots the failover counters.
+func (s *FailoverSink) Stats() FailoverStats {
+	return FailoverStats{
+		PrimaryErrors: s.primaryErrs.Load(),
+		DLQStats:      s.dlq.Stats(),
+	}
+}

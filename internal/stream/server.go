@@ -99,7 +99,25 @@ func (s *Server) serveConn(conn net.Conn) {
 		return
 	}
 	defer s.untrack(conn, sub)
+	s.watchConn(conn, sub)
 	s.pump(conn, sub, 0)
+}
+
+// watchConn closes sub as soon as the client's connection dies. The tail
+// protocol is server-push after the Subscribe frame, so any read
+// completing — EOF, a reset, or a protocol-violating extra byte — means
+// the conversation is over. Without the watcher a dead tailer is only
+// discovered on the next write: a quiet feed would leave its subscriber
+// registered (and a Block-policy ring able to stall the producer)
+// indefinitely.
+func (s *Server) watchConn(conn net.Conn, sub *Subscriber) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		var buf [1]byte
+		_, _ = conn.Read(buf[:])
+		sub.Close() // wakes the pump's Recv; untrack detaches the ring
+	}()
 }
 
 // serveTail runs the snapshot-then-follow protocol: history, the
@@ -111,6 +129,7 @@ func (s *Server) serveTail(conn net.Conn, opts SubOptions) {
 		return
 	}
 	defer s.untrack(conn, tail.Subscriber())
+	s.watchConn(conn, tail.Subscriber())
 
 	err := tail.Snapshot(func(r store.Record) error {
 		rec := r

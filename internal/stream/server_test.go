@@ -240,3 +240,86 @@ func waitForSubscriber(t *testing.T, b *stream.Broker, n int) {
 	}
 	t.Fatalf("broker never reached %d subscribers", n)
 }
+
+// waitForNoSubscribers is waitForSubscriber's inverse: it blocks until every
+// subscription has been torn down.
+func waitForNoSubscribers(t *testing.T, b *stream.Broker) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(b.Stats()) == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("subscribers never unregistered: %+v", b.Stats())
+}
+
+// TestServerDeadConnUnregistersQuietFeed kills a tailer's connection while
+// the feed is quiet. Without the connection watchdog the subscription would
+// linger until the next publish tried to write; with it, the dead tailer is
+// unregistered promptly.
+func TestServerDeadConnUnregistersQuietFeed(t *testing.T) {
+	broker := stream.NewBroker()
+	defer broker.Close()
+	_, addr := startServer(t, broker, nil)
+
+	client, err := stream.Dial(addr, wire.Subscribe{Name: "doomed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForSubscriber(t, broker, 1)
+	_ = client.Close() // nothing published yet: only the watchdog notices
+	waitForNoSubscribers(t, broker)
+
+	// The broker still works for the next tailer.
+	client2, err := stream.Dial(addr, wire.Subscribe{Name: "survivor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client2.Close()
+	waitForSubscriber(t, broker, 1)
+	broker.Publish(rec(1, "C9", "MVNG"))
+	if ev, err := client2.Recv(); err != nil || ev.Record == nil || ev.Record.Seq != 1 {
+		t.Fatalf("survivor recv = %+v, %v", ev, err)
+	}
+}
+
+// TestServerDeadConnMidStream kills the connection in the middle of an
+// active stream — some frames consumed, more in flight — and checks the
+// subscription is torn down and a Block-policy ring cannot stall the
+// producer afterwards.
+func TestServerDeadConnMidStream(t *testing.T) {
+	broker := stream.NewBroker()
+	defer broker.Close()
+	_, addr := startServer(t, broker, nil)
+
+	client, err := stream.Dial(addr, wire.Subscribe{Name: "doomed", Policy: wire.PolicyBlock, Buffer: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForSubscriber(t, broker, 1)
+
+	for i := 0; i < 3; i++ {
+		broker.Publish(rec(uint64(i), "C9", "MVNG"))
+	}
+	if _, err := client.Recv(); err != nil { // mid-frame: one consumed, two buffered
+		t.Fatal(err)
+	}
+	_ = client.Close()
+	waitForNoSubscribers(t, broker)
+
+	// With the dead Block-policy subscriber gone, publishing cannot stall.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			broker.Publish(rec(uint64(10+i), "C9", "MVNG"))
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publish stalled on a dead subscriber")
+	}
+}

@@ -1,0 +1,15 @@
+package tracedb
+
+import (
+	"rad/internal/store"
+)
+
+// Reingest drains a dead-letter queue into the store: each pending spill
+// file lands as one batch (one on-disk block), in spill order, with fresh
+// sequence numbers, and is deleted only after its block is appended. Run
+// it on recovery — e.g. when the middlebox reopens its store after the
+// disk came back — to fold spilled trace batches back into the queryable
+// campaign. It returns the number of records re-ingested.
+func (db *DB) Reingest(q *store.DeadLetterQueue) (int, error) {
+	return q.Drain(db.AppendBatch)
+}

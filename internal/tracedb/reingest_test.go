@@ -1,0 +1,57 @@
+package tracedb
+
+import (
+	"testing"
+
+	"rad/internal/store"
+)
+
+func TestReingestFoldsDLQIntoDB(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	q, err := store.OpenDLQ(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Some records made it into the store, some batches were spilled while
+	// the disk was refusing writes.
+	direct := []store.Record{testRecord(0), testRecord(1)}
+	if err := db.AppendBatch(direct); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Spill([]store.Record{testRecord(2), testRecord(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Spill([]store.Record{testRecord(4)}); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := db.Reingest(q)
+	if err != nil || n != 3 {
+		t.Fatalf("Reingest = %d, %v", n, err)
+	}
+	if db.Len() != 5 {
+		t.Fatalf("db holds %d records, want 5", db.Len())
+	}
+	if pending, _ := q.Pending(); len(pending) != 0 {
+		t.Fatalf("spills survived re-ingest: %v", pending)
+	}
+	// The re-ingested records are queryable with fresh sequence numbers.
+	recs, err := db.Collect(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i) {
+			t.Fatalf("record %d has seq %d, want contiguous resequencing", i, r.Seq)
+		}
+	}
+	// Draining an empty queue is a no-op.
+	if n, err := db.Reingest(q); err != nil || n != 0 {
+		t.Fatalf("second Reingest = %d, %v", n, err)
+	}
+}

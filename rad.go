@@ -10,6 +10,7 @@ import (
 	"rad/internal/attack"
 	"rad/internal/device"
 	"rad/internal/experiments"
+	"rad/internal/fault"
 	"rad/internal/ids"
 	"rad/internal/middlebox"
 	"rad/internal/power"
@@ -90,6 +91,71 @@ var (
 	LANProfile   = middlebox.LANProfile
 	CloudProfile = middlebox.CloudProfile
 )
+
+// --- Fault injection and resilience (internal/fault) ---
+
+// FaultProfile configures the deterministic fault injectors: per-class
+// probabilities for latency spikes, dropped/garbled responses, device
+// hangs, wire resets, and sink write errors.
+type FaultProfile = fault.Profile
+
+// ParseFaultProfile parses "none", "flaky", or "chaos", optionally with
+// key=value overrides (e.g. "flaky,hang=0.01,hangfor=30s").
+var ParseFaultProfile = fault.ParseProfile
+
+// FlakyFaults and ChaosFaults are the built-in fault profiles; NoFaults is
+// the transparent one.
+var (
+	NoFaults    = fault.None
+	FlakyFaults = fault.Flaky
+	ChaosFaults = fault.Chaos
+)
+
+// FaultyDevice and FlakySink wrap a device / trace sink with seeded,
+// reproducible fault injection.
+type (
+	FaultyDevice = fault.FaultyDevice
+	FlakySink    = fault.FlakySink
+)
+
+// WrapFaultyDevice and WrapFlakySink build the injectors.
+var (
+	WrapFaultyDevice = fault.WrapDevice
+	WrapFlakySink    = fault.WrapSink
+)
+
+// ExecPolicy hardens the middlebox REMOTE exec path: per-attempt
+// deadlines, jittered-backoff retries for idempotent commands, and
+// per-device circuit breakers. The zero value keeps the seed-exact
+// single-attempt path.
+type ExecPolicy = middlebox.ExecPolicy
+
+// BreakerConfig tunes a per-device circuit breaker; Resilience and
+// BreakerStats surface the hardened path's activity in Middlebox.Snapshot.
+type (
+	BreakerConfig = fault.BreakerConfig
+	Resilience    = middlebox.Resilience
+	BreakerStats  = fault.BreakerStats
+)
+
+// IsInfraError reports whether an error is an infrastructure failure
+// (injected fault, exec deadline, serial timeout, dead link) rather than a
+// device-reported command error.
+var IsInfraError = fault.IsInfra
+
+// DeadLetterQueue is the disk-backed spill area FailoverSink writes
+// refused trace batches to; TraceDB.Reingest folds it back in.
+type DeadLetterQueue = store.DeadLetterQueue
+
+// OpenDLQ opens (or creates) a dead-letter directory.
+var OpenDLQ = store.OpenDLQ
+
+// FailoverSink makes a primary sink lossless under write errors by
+// spilling refused records to a DeadLetterQueue.
+type FailoverSink = store.FailoverSink
+
+// NewFailoverSink wraps a primary sink with dead-letter failover.
+var NewFailoverSink = store.NewFailoverSink
 
 // TracingSession is the lab-computer side of RATracer: it hands out
 // virtualized devices and owns the middlebox transport.
