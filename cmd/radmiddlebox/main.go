@@ -23,6 +23,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -63,6 +65,7 @@ func run(args []string, stop <-chan struct{}) error {
 	network := fs.String("network", "lan", "emulated network profile: lan, cloud, or none")
 	withPower := fs.Bool("power", true, "attach the UR3e power monitor")
 	streamAddr := fs.String("stream", "", "live-stream listen address ('' disables)")
+	obsAddr := fs.String("obs-addr", "", "telemetry listen address serving /metrics, /snapshot, and /debug/pprof ('' disables)")
 	seed := fs.Uint64("seed", 1, "device simulation seed")
 	faultSpec := fs.String("fault-profile", "", "fault-injection profile: none, flaky, or chaos, with optional key=value overrides (e.g. flaky,hang=0.01)")
 	execTimeout := fs.Duration("exec-timeout", 0, "per-exec deadline (0 disables)")
@@ -90,6 +93,15 @@ func run(args []string, stop <-chan struct{}) error {
 		return fmt.Errorf("unknown network profile %q", *network)
 	}
 
+	// Telemetry registry: every layer below registers its instruments here
+	// when -obs-addr is set; nil keeps all hot paths uninstrumented.
+	var reg *rad.MetricsRegistry
+	if *obsAddr != "" {
+		reg = rad.NewMetricsRegistry()
+		rad.ObserveParallel(reg)
+	}
+	clock := rad.RealClock{}
+
 	// Trace sinks: in-memory store for stats plus the optional persistent
 	// store and file logs.
 	mem := rad.NewTraceStore()
@@ -97,13 +109,19 @@ func run(args []string, stop <-chan struct{}) error {
 	var flushers []interface{ Flush() error }
 	var tdb *rad.TraceDB
 	if *storeDir != "" {
-		db, err := rad.OpenTraceDB(*storeDir, rad.TraceDBOptions{})
+		db, err := rad.OpenTraceDB(*storeDir, rad.TraceDBOptions{Clock: clock})
 		if err != nil {
 			return err
 		}
 		defer db.Close()
 		tdb = db
 		sinks = append(sinks, tdb)
+		if reg != nil {
+			tdb.Observe(reg)
+		}
+	}
+	if reg != nil {
+		mem.Observe(reg)
 	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
@@ -126,7 +144,6 @@ func run(args []string, stop <-chan struct{}) error {
 		flushers = append(flushers, w)
 	}
 
-	clock := rad.RealClock{}
 	// The tee forwards commit notifications from its sequencing sink (the
 	// tracedb when present, else the memory store) so an attached broker
 	// publishes records with their authoritative sequence numbers.
@@ -136,7 +153,11 @@ func run(args []string, stop <-chan struct{}) error {
 	}
 	var sink rad.TraceSink = &teeSink{sinks: sinks, seq: seqSink}
 	if faults.SinkErrProb > 0 {
-		sink = rad.WrapFlakySink(sink, faults, *seed+9)
+		flaky := rad.WrapFlakySink(sink, faults, *seed+9)
+		if reg != nil {
+			flaky.Observe(reg)
+		}
+		sink = flaky
 	}
 	var dlq *rad.DeadLetterQueue
 	var failover *rad.FailoverSink
@@ -157,9 +178,15 @@ func run(args []string, stop <-chan struct{}) error {
 			}
 		}
 		failover = rad.NewFailoverSink(sink, dlq)
+		if reg != nil {
+			failover.Observe(reg)
+		}
 		sink = failover
 	}
 	core := rad.NewMiddlebox(clock, sink)
+	if reg != nil {
+		core.Observe(reg)
+	}
 
 	var monitor *power.Monitor
 	if *withPower {
@@ -170,6 +197,9 @@ func run(args []string, stop <-chan struct{}) error {
 	var streamSrv *rad.StreamServer
 	if *streamAddr != "" {
 		broker = rad.NewBroker()
+		if reg != nil {
+			broker.Observe(reg)
+		}
 		core.AttachBroker(broker)
 		if monitor != nil {
 			stopBridge := broker.AttachMonitor(monitor, 256)
@@ -195,7 +225,11 @@ func run(args []string, stop <-chan struct{}) error {
 	}
 	for i, d := range devices {
 		if faults.Active() {
-			d = rad.WrapFaultyDevice(d, clock, faults, *seed+10+uint64(i))
+			fd := rad.WrapFaultyDevice(d, clock, faults, *seed+10+uint64(i))
+			if reg != nil {
+				fd.Observe(reg)
+			}
+			d = fd
 		}
 		core.Register(d)
 	}
@@ -210,6 +244,21 @@ func run(args []string, stop <-chan struct{}) error {
 				Probes:    *breakerProbes,
 			},
 		})
+	}
+
+	var obsSrv *http.Server
+	if *obsAddr != "" {
+		ln, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			return err
+		}
+		obsSrv = &http.Server{Handler: rad.NewMetricsMux(reg)}
+		go func() { _ = obsSrv.Serve(ln) }()
+		defer obsSrv.Close()
+		fmt.Printf("telemetry listening on http://%s/metrics\n", ln.Addr())
+		if obsReady != nil {
+			obsReady <- ln.Addr().String()
+		}
 	}
 
 	srv := rad.NewMiddleboxServer(core, profile, *seed+6)
@@ -279,11 +328,12 @@ func run(args []string, stop <-chan struct{}) error {
 	return nil
 }
 
-// listenReady and streamReady, when set by a test, receive the bound
-// addresses once the respective listeners are up.
+// listenReady, streamReady, and obsReady, when set by a test, receive the
+// bound addresses once the respective listeners are up.
 var (
 	listenReady chan string
 	streamReady chan string
+	obsReady    chan string
 )
 
 // teeSink fans records to all sinks and forwards commit notifications from

@@ -9,6 +9,12 @@
 //
 //	radwatch -addr HOST:PORT [filters] [-snapshot] [-power] [-format text|jsonl|csv] [-limit N]
 //	radwatch -addr HOST:PORT -ids -train TRACE.jsonl [-order N] [-window N] [-alerts FILE]
+//	radwatch -obs HOST:PORT [-interval DUR] [-limit N]
+//
+// -obs switches radwatch from tailing traces to polling a middlebox
+// telemetry endpoint (radmiddlebox -obs-addr): each poll fetches /snapshot
+// and pretty-prints the non-zero counters, gauges, and latency histograms
+// (count, mean, p50/p90/p99). -limit bounds the number of polls.
 //
 // Filters: -device, -key (Device.Name), -proc, -run. Overflow behaviour is
 // chosen with -policy drop-oldest|block and -buffer N; under drop-oldest the
@@ -30,6 +36,7 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"time"
 
 	"rad"
 )
@@ -54,6 +61,8 @@ func run(args []string, out io.Writer) error {
 	buffer := fs.Int("buffer", 0, "server-side ring capacity (0 = default)")
 	format := fs.String("format", "text", "output: text, jsonl, or csv")
 	limit := fs.Int("limit", 0, "stop after N events (0 = forever)")
+	obsAddr := fs.String("obs", "", "middlebox telemetry address (-obs-addr): poll /snapshot and pretty-print metrics instead of tailing the stream")
+	interval := fs.Duration("interval", 2*time.Second, "obs: polling interval")
 	idsMode := fs.Bool("ids", false, "run the online IDS over the stream instead of printing records")
 	train := fs.String("train", "", "ids: JSONL trace file of benign runs to train on")
 	order := fs.Int("order", 2, "ids: n-gram model order")
@@ -61,6 +70,9 @@ func run(args []string, out io.Writer) error {
 	rules := fs.Bool("rules", false, "ids: also run the middlebox rule engine")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *obsAddr != "" {
+		return watchObs(out, *obsAddr, *interval, *limit)
 	}
 	if *addr == "" {
 		return fmt.Errorf("-addr is required")

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"rad"
+)
+
+// watchObs polls a radmiddlebox telemetry endpoint (-obs-addr) and
+// pretty-prints each snapshot: counters and gauges as name/value pairs,
+// histograms with count, mean, and interpolated tail quantiles. limit bounds
+// the number of polls (0 = forever).
+func watchObs(out io.Writer, addr string, interval time.Duration, limit int) error {
+	url := fmt.Sprintf("http://%s/snapshot", addr)
+	for n := 0; ; n++ {
+		if n > 0 {
+			time.Sleep(interval)
+		}
+		snap, err := fetchSnapshot(url)
+		if err != nil {
+			return err
+		}
+		printSnapshot(out, snap)
+		if limit > 0 && n+1 >= limit {
+			return nil
+		}
+	}
+}
+
+func fetchSnapshot(url string) (rad.MetricsSnapshot, error) {
+	var snap rad.MetricsSnapshot
+	resp, err := http.Get(url)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("decode snapshot: %w", err)
+	}
+	return snap, nil
+}
+
+// printSnapshot renders one poll. Zero-valued counters are elided so a quiet
+// middlebox prints a short report, not its whole instrument catalog.
+func printSnapshot(out io.Writer, snap rad.MetricsSnapshot) {
+	fmt.Fprintf(out, "--- metrics @ %s ---\n", time.Now().Format("15:04:05"))
+	for _, c := range snap.Counters {
+		if c.Value == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "%-60s %d\n", metricKey(c.Name, c.Labels), c.Value)
+	}
+	for _, g := range snap.Gauges {
+		if g.Value == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "%-60s %g\n", metricKey(g.Name, g.Labels), g.Value)
+	}
+	for _, h := range snap.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		mean := h.SumSeconds / float64(h.Count)
+		fmt.Fprintf(out, "%-60s count=%d mean=%s p50=%s p90=%s p99=%s\n",
+			metricKey(h.Name, h.Labels), h.Count, fmtSeconds(mean),
+			fmtSeconds(h.Quantile(0.50)), fmtSeconds(h.Quantile(0.90)), fmtSeconds(h.Quantile(0.99)))
+	}
+}
+
+// metricKey renders a Prometheus-style name{label="value",...} key with
+// labels in sorted order.
+func metricKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, labels[k])
+	}
+	return name + "{" + strings.Join(parts, ",") + "}"
+}
+
+// fmtSeconds renders a duration in seconds with a human-scaled unit.
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}

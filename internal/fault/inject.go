@@ -105,6 +105,7 @@ type FaultyDevice struct {
 	dev   device.Device
 	clock simclock.Clock
 	dec   *decider
+	obs   *injObs // nil unless Observe was called
 }
 
 var _ device.Device = (*FaultyDevice)(nil)
@@ -130,15 +131,25 @@ func (f *FaultyDevice) SetProfile(p Profile) { f.dec.setProfile(p) }
 // command plus an optional latency spike.
 func (f *FaultyDevice) Exec(cmd device.Command) (string, error) {
 	d := f.dec.next()
+	o := f.obs
 	if d.latency > 0 {
+		if o != nil {
+			o.latency.Inc()
+		}
 		f.clock.Sleep(d.latency)
 	}
 	switch {
 	case d.reset:
 		// The command never reaches the device.
+		if o != nil {
+			o.reset.Inc()
+		}
 		return "", &Fault{Kind: KindReset, Target: f.dev.Name()}
 	case d.hang:
 		// The device goes silent; the caller only learns after HangFor.
+		if o != nil {
+			o.hang.Inc()
+		}
 		f.clock.Sleep(d.hangFor)
 		return "", &Fault{Kind: KindHang, Target: f.dev.Name()}
 	}
@@ -147,8 +158,14 @@ func (f *FaultyDevice) Exec(cmd device.Command) (string, error) {
 	case d.drop:
 		// The device executed (state may have changed) but the response
 		// was lost — the reason only idempotent commands retry.
+		if o != nil {
+			o.drop.Inc()
+		}
 		return "", &Fault{Kind: KindDrop, Target: f.dev.Name()}
 	case d.garble && err == nil:
+		if o != nil {
+			o.garble.Inc()
+		}
 		return "", &Fault{Kind: KindGarble, Target: f.dev.Name(), Detail: garbleString(value, d.mangle)}
 	}
 	return value, err
@@ -162,6 +179,7 @@ func (f *FaultyDevice) Exec(cmd device.Command) (string, error) {
 type FlakySink struct {
 	sink store.Sink
 	dec  *decider
+	obs  *injObs // nil unless Observe was called
 }
 
 var (
@@ -180,6 +198,9 @@ func (f *FlakySink) SetProfile(p Profile) { f.dec.setProfile(p) }
 // Append implements store.Sink.
 func (f *FlakySink) Append(r store.Record) error {
 	if f.dec.next().sinkErr {
+		if o := f.obs; o != nil {
+			o.sinkErr.Inc()
+		}
 		return &Fault{Kind: KindSink, Target: "sink"}
 	}
 	return f.sink.Append(r)
@@ -189,6 +210,9 @@ func (f *FlakySink) Append(r store.Record) error {
 // (the failure unit the dead-letter queue spills).
 func (f *FlakySink) AppendBatch(recs []store.Record) error {
 	if f.dec.next().sinkErr {
+		if o := f.obs; o != nil {
+			o.sinkErr.Inc()
+		}
 		return &Fault{Kind: KindSink, Target: "sink"}
 	}
 	return store.AppendAll(f.sink, recs)
@@ -210,6 +234,7 @@ type FaultyLine struct {
 	line  serial.Line
 	label string
 	dec   *decider
+	obs   *injObs // nil unless Observe was called
 }
 
 var _ serial.Line = (*FaultyLine)(nil)
@@ -231,8 +256,14 @@ func (f *FaultyLine) WriteLine(s string) error {
 	d := f.dec.next()
 	switch {
 	case d.drop:
+		if o := f.obs; o != nil {
+			o.drop.Inc()
+		}
 		return nil // swallowed: the peer never hears the request
 	case d.garble:
+		if o := f.obs; o != nil {
+			o.garble.Inc()
+		}
 		return f.line.WriteLine(garbleString(s, d.mangle))
 	}
 	return f.line.WriteLine(s)

@@ -20,11 +20,54 @@ import (
 
 	"rad/internal/device"
 	"rad/internal/fault"
+	"rad/internal/obs"
 	"rad/internal/simclock"
 	"rad/internal/store"
 	"rad/internal/stream"
 	"rad/internal/wire"
 )
+
+// deviceEntry bundles everything the exec hot path needs about one
+// registered device behind a single registry lookup: the device itself,
+// its circuit breaker (nil unless hardened — a nil breaker admits
+// everything), and its latency histograms (nil unless Observe was called).
+// Entries are immutable after the configuration phase (Register /
+// SetExecPolicy / Observe, all documented call-before-serving), so the hot
+// path reads them without further synchronization.
+type deviceEntry struct {
+	dev     device.Device
+	breaker *fault.Breaker
+	// hist maps a command name to its latency histogram
+	// (rad_middlebox_exec_seconds{device,command}), prebuilt from the
+	// command catalog so the hot path pays one map read, never a
+	// registration. histOther absorbs commands outside the catalog.
+	// lastHist caches the most recent lookup: robot command streams repeat
+	// the same command in long runs (homing loops, polling), so the common
+	// case is an atomic load plus one string compare instead of a map
+	// access. A stale entry is harmless — it just misses into the map.
+	hist      map[string]*obs.Histogram
+	histOther *obs.Histogram
+	lastHist  atomic.Pointer[cmdHist]
+}
+
+// cmdHist is one immutable (command name, histogram) pair for
+// deviceEntry.lastHist.
+type cmdHist struct {
+	name string
+	h    *obs.Histogram
+}
+
+// observeSlow is the exec path's histogram lookup miss path: resolve the
+// command's histogram in the map, refresh the last-command cache, record.
+// The hit path is spelled out inline in handleExec.
+func (e *deviceEntry) observeSlow(name string, d time.Duration) {
+	h, ok := e.hist[name]
+	if !ok {
+		h = e.histOther
+	}
+	e.lastHist.Store(&cmdHist{name: name, h: h})
+	h.Observe(d)
+}
 
 // Core is the transport-independent middlebox: it owns the device
 // connections (REMOTE mode) and the trace log. Safe for concurrent use.
@@ -34,9 +77,11 @@ type Core struct {
 	// without taking any lock.
 	sink store.Sink
 
-	mu       sync.RWMutex
-	devices  map[string]device.Device
-	breakers map[string]*fault.Breaker // per-device, only when hardened
+	mu      sync.RWMutex
+	entries map[string]*deviceEntry
+	// obsReg, when set by Observe, receives every metric the middlebox
+	// exports; per-device histograms live in the entries.
+	obsReg *obs.Registry
 
 	// Resilience machinery (see exec.go). policy/hardened/virtual are
 	// immutable after SetExecPolicy; the zero policy keeps the seed-exact
@@ -93,7 +138,7 @@ type Stats struct {
 // NewCore builds a middlebox core logging to sink (which may be nil to
 // disable logging, e.g. in pure latency benchmarks).
 func NewCore(clock simclock.Clock, sink store.Sink) *Core {
-	return &Core{clock: clock, devices: make(map[string]device.Device), sink: sink}
+	return &Core{clock: clock, entries: make(map[string]*deviceEntry), sink: sink}
 }
 
 // AttachBroker connects a live-stream broker to the middlebox. When the trace
@@ -116,9 +161,13 @@ func (c *Core) AttachBroker(b *stream.Broker) {
 func (c *Core) Register(d device.Device) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.devices[d.Name()] = d
+	e := &deviceEntry{dev: d}
 	if c.hardened {
-		c.breakers[d.Name()] = fault.NewBreaker(d.Name(), c.clock, c.policy.Breaker)
+		e.breaker = fault.NewBreaker(d.Name(), c.clock, c.policy.Breaker)
+	}
+	c.entries[d.Name()] = e
+	if c.obsReg != nil {
+		c.observeDeviceLocked(d.Name(), e)
 	}
 }
 
@@ -126,8 +175,11 @@ func (c *Core) Register(d device.Device) {
 func (c *Core) Device(name string) (device.Device, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	d, ok := c.devices[name]
-	return d, ok
+	e, ok := c.entries[name]
+	if !ok {
+		return nil, false
+	}
+	return e.dev, true
 }
 
 // Snapshot returns a consistent point-in-time copy of the request counters
@@ -145,8 +197,10 @@ func (c *Core) Snapshot() Stats {
 	}
 }
 
-// Stats returns a snapshot of the request counters. It is Snapshot under
-// the historical name.
+// Stats returns a snapshot of the request counters.
+//
+// Deprecated: use Snapshot, which this aliases. Stats survives only so
+// pre-PR-1 callers keep compiling.
 func (c *Core) Stats() Stats { return c.Snapshot() }
 
 // Handle processes one request and produces its reply. It implements the
@@ -172,11 +226,12 @@ func (c *Core) Handle(req wire.Request) wire.Reply {
 }
 
 func (c *Core) handleExec(req wire.Request) wire.Reply {
-	d, br, ok := c.lookup(req.Device)
+	e, ok := c.lookup(req.Device)
 	if !ok {
 		c.errors.Add(1)
 		return wire.Reply{ID: req.ID, Error: fmt.Sprintf("middlebox: device %q not registered", req.Device)}
 	}
+	d, br := e.dev, e.breaker
 	if !br.Allow() {
 		return c.shedExec(req)
 	}
@@ -209,6 +264,19 @@ func (c *Core) handleExec(req wire.Request) wire.Reply {
 			value, end, err = c.execRetry(d, br, cmd, value, end, err)
 		} else {
 			br.Done(false)
+		}
+	}
+	if e.hist != nil {
+		// Client-visible exec latency, retries and backoff included. The
+		// duration comes from the injected clock, so virtual-clock
+		// campaigns produce deterministic histograms. The last-command
+		// cache hit path is spelled out here so the common case pays one
+		// atomic load and a string compare, not a map access.
+		d := end.Sub(start)
+		if last := e.lastHist.Load(); last != nil && last.name == req.Name {
+			last.h.Observe(d)
+		} else {
+			e.observeSlow(req.Name, d)
 		}
 	}
 

@@ -65,13 +65,13 @@ func (c *Core) SetExecPolicy(p ExecPolicy) {
 	_, c.virtual = c.clock.(interface{ Advance(time.Duration) })
 	c.realDeadline = !c.virtual && p.Timeout > 0
 	c.retryRng = rand.New(rand.NewPCG(seed, seed^0xbf58476d1ce4e5b9))
-	c.breakers = make(map[string]*fault.Breaker, len(c.devices))
-	if c.hardened {
-		if c.idempotent == nil {
-			c.idempotent = idempotentCatalog()
-		}
-		for name := range c.devices {
-			c.breakers[name] = fault.NewBreaker(name, c.clock, p.Breaker)
+	if c.hardened && c.idempotent == nil {
+		c.idempotent = idempotentCatalog()
+	}
+	for name, e := range c.entries {
+		e.breaker = nil
+		if c.hardened {
+			e.breaker = fault.NewBreaker(name, c.clock, p.Breaker)
 		}
 	}
 }
@@ -89,12 +89,13 @@ func idempotentCatalog() map[string]bool {
 	return m
 }
 
-// lookup resolves a device and its breaker under one registry read lock.
-func (c *Core) lookup(name string) (device.Device, *fault.Breaker, bool) {
+// lookup resolves a device's entry — device, breaker, histograms — under
+// one registry read lock and one map access.
+func (c *Core) lookup(name string) (*deviceEntry, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	d, ok := c.devices[name]
-	return d, c.breakers[name], ok // nil breaker admits everything
+	e, ok := c.entries[name]
+	return e, ok
 }
 
 // shedExec rejects a request whose breaker is open: no device contact, an
@@ -216,9 +217,9 @@ func (c *Core) resilience() Resilience {
 		InfraErrors: c.infraErrs.Load(),
 	}
 	c.mu.RLock()
-	for _, b := range c.breakers {
-		if b != nil {
-			r.Breakers = append(r.Breakers, b.Stats())
+	for _, e := range c.entries {
+		if e.breaker != nil {
+			r.Breakers = append(r.Breakers, e.breaker.Stats())
 		}
 	}
 	c.mu.RUnlock()

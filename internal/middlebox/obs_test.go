@@ -1,0 +1,184 @@
+package middlebox
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"rad/internal/device"
+	"rad/internal/device/c9"
+	"rad/internal/device/ika"
+	"rad/internal/fault"
+	"rad/internal/obs"
+	"rad/internal/simclock"
+	"rad/internal/wire"
+)
+
+// obsCore builds an observed, hardened core over a virtual clock with the
+// C9 and IKA simulators seeded from seed.
+func obsCore(t testing.TB, seed uint64) (*Core, *obs.Registry, *simclock.Virtual) {
+	t.Helper()
+	clock := simclock.NewVirtual(time.Date(2021, 10, 1, 9, 0, 0, 0, time.UTC))
+	core := NewCore(clock, nil)
+	core.Register(c9.New(device.NewEnv(clock, seed)))
+	core.Register(ika.New(device.NewEnv(clock, seed+1)))
+	core.SetExecPolicy(ExecPolicy{
+		Timeout: time.Hour,
+		Retries: 1,
+		Breaker: fault.BreakerConfig{Threshold: 3, Cooldown: time.Minute},
+	})
+	reg := obs.NewRegistry()
+	core.Observe(reg)
+	return core, reg, clock
+}
+
+// driveObs executes a deterministic command mix and returns the rendered
+// Prometheus exposition.
+func driveObs(t testing.TB, core *Core, reg *obs.Registry) string {
+	t.Helper()
+	script := []wire.Request{
+		{Op: wire.OpExec, Device: device.C9, Name: device.Init},
+		{Op: wire.OpExec, Device: device.IKA, Name: device.Init},
+		{Op: wire.OpPing},
+	}
+	for i := 0; i < 40; i++ {
+		script = append(script,
+			wire.Request{Op: wire.OpExec, Device: device.C9, Name: "MVNG"},
+			wire.Request{Op: wire.OpExec, Device: device.IKA, Name: "IN_PV_4"},
+		)
+	}
+	// One off-catalog command exercises the fallback histogram.
+	script = append(script, wire.Request{Op: wire.OpExec, Device: device.C9, Name: "NOT_IN_CATALOG"})
+	for i, req := range script {
+		req.ID = uint64(i + 1)
+		core.Handle(req)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestObsExecHistogramDeterminism: under a virtual clock the latency
+// histograms are a pure function of the seed — two identical campaigns
+// render byte-identical expositions, for every seed tried.
+func TestObsExecHistogramDeterminism(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			coreA, regA, _ := obsCore(t, seed)
+			coreB, regB, _ := obsCore(t, seed)
+			a := driveObs(t, coreA, regA)
+			b := driveObs(t, coreB, regB)
+			if a != b {
+				t.Fatalf("virtual-clock renders differ for seed %d:\n--- a ---\n%s\n--- b ---\n%s", seed, a, b)
+			}
+			if !strings.Contains(a, `rad_middlebox_exec_seconds_bucket{command="MVNG",device="C9",`) {
+				t.Fatalf("per-command histogram missing:\n%s", a)
+			}
+		})
+	}
+}
+
+// TestObsCountersMirrorSnapshot: the pull-based counters must agree with
+// Core.Snapshot exactly — they read the same atomics.
+func TestObsCountersMirrorSnapshot(t *testing.T) {
+	core, reg, _ := obsCore(t, 7)
+	driveObs(t, core, reg)
+	core.Handle(wire.Request{ID: 999, Op: wire.OpExec, Device: "nope", Name: "X"}) // an error reply
+
+	stats := core.Snapshot()
+	snap := reg.Snapshot()
+	got := make(map[string]uint64)
+	for _, c := range snap.Counters {
+		key := c.Name
+		if op := c.Labels["op"]; op != "" {
+			key += ":" + op
+		}
+		if c.Labels["device"] == "" || !strings.Contains(c.Name, "breaker") {
+			got[key] = c.Value
+		}
+	}
+	for key, want := range map[string]uint64{
+		"rad_middlebox_requests_total:exec": stats.Execs,
+		"rad_middlebox_requests_total:ping": stats.Pings,
+		"rad_middlebox_errors_total":        stats.Errors,
+		"rad_middlebox_exec_shed_total":     stats.Resilience.Shed,
+	} {
+		if got[key] != want {
+			t.Errorf("%s = %d, want %d (Core.Snapshot)", key, got[key], want)
+		}
+	}
+	if stats.Errors == 0 {
+		t.Fatal("script produced no error replies; the mirror test lost its teeth")
+	}
+
+	// The per-exec histogram count must equal the number of execs that
+	// reached a device (all execs here — nothing was shed).
+	var histCount uint64
+	for _, h := range snap.Histograms {
+		if h.Name == "rad_middlebox_exec_seconds" {
+			histCount += h.Count
+		}
+	}
+	if histCount != stats.Execs {
+		t.Fatalf("histogram observations = %d, want %d execs", histCount, stats.Execs)
+	}
+}
+
+// TestObsBreakerGaugeFlips: a device that always resets trips its breaker;
+// the state gauge and shed counters must show the flip live.
+func TestObsBreakerGaugeFlips(t *testing.T) {
+	clock := simclock.NewVirtual(time.Date(2021, 10, 1, 9, 0, 0, 0, time.UTC))
+	core := NewCore(clock, nil)
+	dead := fault.WrapDevice(c9.New(device.NewEnv(clock, 1)), clock, fault.Profile{ResetProb: 1}, 42)
+	core.Register(dead)
+	core.SetExecPolicy(ExecPolicy{Breaker: fault.BreakerConfig{Threshold: 2, Cooldown: time.Hour}})
+	reg := obs.NewRegistry()
+	core.Observe(reg)
+
+	for i := 0; i < 5; i++ {
+		core.Handle(wire.Request{ID: uint64(i + 1), Op: wire.OpExec, Device: device.C9, Name: "MVNG"})
+	}
+	snap := reg.Snapshot()
+	vals := map[string]float64{}
+	counts := map[string]uint64{}
+	for _, g := range snap.Gauges {
+		vals[g.Name] = g.Value
+	}
+	for _, c := range snap.Counters {
+		counts[c.Name] += c.Value
+	}
+	if vals["rad_middlebox_breaker_state"] != float64(fault.BreakerOpen) {
+		t.Fatalf("breaker state gauge = %v, want open (%d)", vals["rad_middlebox_breaker_state"], fault.BreakerOpen)
+	}
+	if counts["rad_middlebox_breaker_opens_total"] == 0 {
+		t.Fatal("breaker opens counter never moved")
+	}
+	if counts["rad_middlebox_exec_shed_total"] == 0 {
+		t.Fatal("shed counter never moved despite an open breaker")
+	}
+}
+
+// TestObsRegisterAfterObserve: devices registered after Observe still get
+// their histograms and breaker gauges.
+func TestObsRegisterAfterObserve(t *testing.T) {
+	clock := simclock.NewVirtual(time.Date(2021, 10, 1, 9, 0, 0, 0, time.UTC))
+	core := NewCore(clock, nil)
+	reg := obs.NewRegistry()
+	core.Observe(reg)
+	core.Register(c9.New(device.NewEnv(clock, 1)))
+	core.Handle(wire.Request{ID: 1, Op: wire.OpExec, Device: device.C9, Name: device.Init})
+	core.Handle(wire.Request{ID: 2, Op: wire.OpExec, Device: device.C9, Name: "MVNG"})
+
+	var seen bool
+	for _, h := range reg.Snapshot().Histograms {
+		if h.Name == "rad_middlebox_exec_seconds" && h.Labels["device"] == device.C9 && h.Count > 0 {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("late-registered device produced no observations")
+	}
+}

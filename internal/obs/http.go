@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServeMux builds the live telemetry endpoint over a registry:
+//
+//	/metrics        Prometheus text exposition
+//	/snapshot       the JSON Snapshot (radwatch -obs polls this)
+//	/debug/pprof/   the standard Go profiling handlers
+//	/               a plain-text index of the above
+//
+// radmiddlebox mounts this on -obs-addr; anything that can scrape
+// Prometheus or hit an HTTP endpoint can watch the middlebox live.
+func ServeMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("rad observability endpoint\n\n  /metrics       Prometheus text exposition\n  /snapshot      JSON metrics snapshot\n  /debug/pprof/  Go profiling\n"))
+	})
+	return mux
+}

@@ -1,0 +1,48 @@
+package parallel
+
+import (
+	"sync/atomic"
+
+	"rad/internal/obs"
+)
+
+// poolObs is the package's observability state: installed once by Observe,
+// read with one atomic pointer load at the top of every ForEach call. The
+// per-index hot loop is untouched — accounting happens at call granularity.
+type poolObs struct {
+	calls  *obs.Counter // ForEach/Map invocations
+	tasks  *obs.Counter // indices dispatched
+	active *obs.Gauge   // workers currently running
+}
+
+var pool atomic.Pointer[poolObs]
+
+// Observe registers the worker-pool metrics into reg. Package-level
+// because the pool is: every concurrent kernel in the repository funnels
+// through ForEach. Call once at process start; calling again re-points the
+// metrics at the new registry's counters.
+func Observe(reg *obs.Registry) {
+	o := &poolObs{}
+	reg.SetHelp("rad_parallel_calls_total", "ForEach/Map kernel invocations.")
+	o.calls = reg.Counter("rad_parallel_calls_total")
+	reg.SetHelp("rad_parallel_tasks_total", "Indices dispatched across all kernel invocations.")
+	o.tasks = reg.Counter("rad_parallel_tasks_total")
+	reg.SetHelp("rad_parallel_active_workers", "Pool workers currently running (inline calls count as one).")
+	o.active = reg.Gauge("rad_parallel_active_workers")
+	pool.Store(o)
+}
+
+// observeCall accounts one ForEach invocation: n tasks on workers
+// goroutines (workers == 1 for the inline path). The returned func must be
+// called when the invocation finishes; it is nil when the pool is
+// unobserved, so callers guard with the usual `if done != nil` idiom.
+func observeCall(n, workers int) func() {
+	o := pool.Load()
+	if o == nil {
+		return nil
+	}
+	o.calls.Inc()
+	o.tasks.Add(uint64(n))
+	o.active.Add(int64(workers))
+	return func() { o.active.Add(int64(-workers)) }
+}

@@ -1,0 +1,51 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+
+	"rad/internal/obs"
+)
+
+// TestObsParallelPool: ForEach accounts calls, tasks, and worker
+// occupancy; the gauge returns to zero when the kernel finishes.
+func TestObsParallelPool(t *testing.T) {
+	reg := obs.NewRegistry()
+	Observe(reg)
+	defer pool.Store(nil) // don't leak package state into other tests
+
+	var mu sync.Mutex
+	seen := 0
+	if err := ForEach(10, 4, func(i int) error {
+		mu.Lock()
+		seen++
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Inline path (workers <= 1) counts too.
+	if err := ForEach(3, 1, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	counters := make(map[string]uint64)
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["rad_parallel_calls_total"] != 2 {
+		t.Errorf("calls = %d, want 2", counters["rad_parallel_calls_total"])
+	}
+	if counters["rad_parallel_tasks_total"] != 13 {
+		t.Errorf("tasks = %d, want 13", counters["rad_parallel_tasks_total"])
+	}
+	for _, g := range snap.Gauges {
+		if g.Name == "rad_parallel_active_workers" && g.Value != 0 {
+			t.Errorf("active workers = %v after completion, want 0", g.Value)
+		}
+	}
+	if seen != 10 {
+		t.Fatalf("ForEach ran %d tasks, want 10", seen)
+	}
+}

@@ -1,0 +1,26 @@
+package store
+
+import "rad/internal/obs"
+
+// Observe registers the in-memory store's occupancy gauge into reg.
+// Entirely pull-based — the append path is untouched.
+func (s *MemStore) Observe(reg *obs.Registry) {
+	reg.SetHelp("rad_store_records", "Records held by the in-memory store.")
+	reg.GaugeFunc("rad_store_records", func() float64 { return float64(s.Len()) })
+}
+
+// Observe registers the failover sink's spill accounting into reg:
+// primary refusals and what the dead-letter queue absorbed. Entirely
+// pull-based mirrors of the counters the sink already keeps.
+func (s *FailoverSink) Observe(reg *obs.Registry) {
+	reg.SetHelp("rad_store_primary_errors_total", "Appends the primary sink refused (spilled to the DLQ).")
+	reg.CounterFunc("rad_store_primary_errors_total", s.primaryErrs.Load)
+	reg.SetHelp("rad_store_spilled_batches_total", "Batches spilled to the dead-letter queue.")
+	reg.CounterFunc("rad_store_spilled_batches_total", func() uint64 {
+		return s.dlq.Stats().SpilledBatches
+	})
+	reg.SetHelp("rad_store_spilled_records_total", "Records spilled to the dead-letter queue.")
+	reg.CounterFunc("rad_store_spilled_records_total", func() uint64 {
+		return s.dlq.Stats().SpilledRecords
+	})
+}

@@ -89,6 +89,18 @@ type Broker struct {
 	closed bool
 
 	published atomic.Uint64 // trace events offered to the fan-out
+
+	// Lifetime delivery accounting across all subscribers, including ones
+	// that have since detached (per-subscriber counters die with the
+	// subscriber; these never go backwards, so they can be exported as
+	// Prometheus counters — see obs.go).
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+
+	// obs, when set by Observe, registers per-subscriber metrics as
+	// subscriptions come and go. nextSubID uniquifies their "id" label.
+	obs       *brokerObs
+	nextSubID atomic.Uint64
 }
 
 // NewBroker returns an empty broker.
@@ -205,6 +217,9 @@ func (b *Broker) Subscribe(opts SubOptions) *Subscriber {
 		return s
 	}
 	b.subs = append(b.subs, s)
+	if b.obs != nil {
+		b.observeSubLocked(s)
+	}
 	return s
 }
 
@@ -229,9 +244,13 @@ func (b *Broker) Close() {
 	subs := b.subs
 	b.subs = nil
 	b.closed = true
+	o := b.obs
 	b.mu.Unlock()
 	for _, s := range subs {
 		s.markClosed()
+		if o != nil {
+			o.unobserveSub(s)
+		}
 	}
 }
 
@@ -242,6 +261,9 @@ func (b *Broker) detach(s *Subscriber) {
 	for i, other := range b.subs {
 		if other == s {
 			b.subs = append(b.subs[:i], b.subs[i+1:]...)
+			if b.obs != nil {
+				b.obs.unobserveSub(s)
+			}
 			return
 		}
 	}
@@ -273,6 +295,11 @@ type Subscriber struct {
 	closed    bool
 	delivered uint64
 	dropped   uint64
+
+	// obsLabels, when the broker is observed, holds this subscriber's
+	// metric label pairs so detach can unregister its per-subscriber
+	// metrics (see obs.go).
+	obsLabels []string
 }
 
 // offer enqueues one event, applying the filter and the overflow policy. The
@@ -301,6 +328,9 @@ func (s *Subscriber) offer(ev *Event) {
 		s.head = (s.head + 1) % len(s.buf)
 		s.n--
 		s.dropped++
+		if s.broker != nil {
+			s.broker.dropped.Add(1)
+		}
 	}
 	s.buf[(s.head+s.n)%len(s.buf)] = *ev
 	s.n++
@@ -323,6 +353,9 @@ func (s *Subscriber) Recv() (ev Event, ok bool) {
 	s.head = (s.head + 1) % len(s.buf)
 	s.n--
 	s.delivered++
+	if s.broker != nil {
+		s.broker.delivered.Add(1)
+	}
 	s.cond.Broadcast()
 	return ev, true
 }
@@ -339,6 +372,9 @@ func (s *Subscriber) TryRecv() (ev Event, ok bool) {
 	s.head = (s.head + 1) % len(s.buf)
 	s.n--
 	s.delivered++
+	if s.broker != nil {
+		s.broker.delivered.Add(1)
+	}
 	s.cond.Broadcast()
 	return ev, true
 }

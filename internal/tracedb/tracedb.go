@@ -6,8 +6,10 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"rad/internal/parallel"
+	"rad/internal/simclock"
 	"rad/internal/store"
 )
 
@@ -22,6 +24,11 @@ type Options struct {
 	// store.DefaultBatchSize. AppendBatch always lands as its own block
 	// (the store.Batcher flush boundary) regardless of this setting.
 	BlockRecords int
+	// Clock is the time source for observability timings (recovery,
+	// append, and flush latency histograms — see Observe). It never
+	// affects the data path. Defaults to the real clock; campaigns under a
+	// virtual clock pass theirs so the timing metrics stay deterministic.
+	Clock simclock.Clock
 }
 
 // DefaultSegmentBytes is the default segment rotation threshold.
@@ -47,6 +54,13 @@ type DB struct {
 	nextSeq  uint64
 	closed   bool
 	onCommit func(recs []store.Record)
+
+	// Observability (see obs.go). obs is nil until Observe; the write path
+	// pays one nil check per call when unobserved. recovery is the wall
+	// (or virtual) time Open spent CRC-verifying the existing segments.
+	obs      *dbObs
+	clock    simclock.Clock
+	recovery time.Duration
 }
 
 var (
@@ -66,6 +80,10 @@ func Open(dir string, opts Options) (*DB, error) {
 	if opts.BlockRecords <= 0 {
 		opts.BlockRecords = store.DefaultBatchSize
 	}
+	if opts.Clock == nil {
+		opts.Clock = simclock.Real{}
+	}
+	recoverStart := opts.Clock.Now()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("tracedb: %w", err)
 	}
@@ -96,7 +114,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, err
 	}
 
-	db := &DB{dir: dir, opts: opts, segs: segs}
+	db := &DB{dir: dir, opts: opts, segs: segs, clock: opts.Clock}
 	for _, s := range segs {
 		if s.index.count > 0 && s.index.maxSeq+1 > db.nextSeq {
 			db.nextSeq = s.index.maxSeq + 1
@@ -109,6 +127,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		}
 		db.segs = append(db.segs, s)
 	}
+	db.recovery = opts.Clock.Now().Sub(recoverStart)
 	return db, nil
 }
 
@@ -131,6 +150,16 @@ func (db *DB) SetOnCommit(fn func(recs []store.Record)) {
 func (db *DB) Append(r store.Record) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if o := db.obs; o != nil {
+		start := db.clock.Now()
+		err := db.appendLocked(r)
+		o.appendRecord.Observe(db.clock.Now().Sub(start))
+		return err
+	}
+	return db.appendLocked(r)
+}
+
+func (db *DB) appendLocked(r store.Record) error {
 	if db.closed {
 		return ErrClosed
 	}
@@ -153,6 +182,16 @@ func (db *DB) Append(r store.Record) error {
 func (db *DB) AppendBatch(recs []store.Record) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if o := db.obs; o != nil {
+		start := db.clock.Now()
+		err := db.appendBatchLocked(recs)
+		o.appendBatch.Observe(db.clock.Now().Sub(start))
+		return err
+	}
+	return db.appendBatchLocked(recs)
+}
+
+func (db *DB) appendBatchLocked(recs []store.Record) error {
 	if db.closed {
 		return ErrClosed
 	}
@@ -233,8 +272,15 @@ func (db *DB) flushLocked() error {
 	if len(db.pending) == 0 {
 		return nil
 	}
+	var start time.Time
+	if db.obs != nil {
+		start = db.clock.Now()
+	}
 	if err := db.appendBlockLocked(db.pending); err != nil {
 		return err
+	}
+	if o := db.obs; o != nil {
+		o.flush.Observe(db.clock.Now().Sub(start))
 	}
 	db.pending = db.pending[:0]
 	return nil
@@ -275,7 +321,14 @@ func (db *DB) writeOneBlockLocked(recs []store.Record) error {
 		active = next
 	}
 	db.encBuf = encodePayload(db.encBuf[:0], recs)
-	return active.appendBlock(db.encBuf, recs)
+	if err := active.appendBlock(db.encBuf, recs); err != nil {
+		return err
+	}
+	if o := db.obs; o != nil {
+		o.blocksWritten.Add(1)
+		o.bytesWritten.Add(uint64(blockHeaderSize + len(db.encBuf)))
+	}
+	return nil
 }
 
 // Len returns the number of records in the store, staged ones included.

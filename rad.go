@@ -13,6 +13,8 @@ import (
 	"rad/internal/fault"
 	"rad/internal/ids"
 	"rad/internal/middlebox"
+	"rad/internal/obs"
+	"rad/internal/parallel"
 	"rad/internal/power"
 	"rad/internal/procedure"
 	dataset "rad/internal/rad"
@@ -332,6 +334,45 @@ type (
 
 // NewStreamIDS builds an online detector from a trained PerplexityDetector.
 var NewStreamIDS = stream.NewIDS
+
+// --- Observability (internal/obs) ---
+
+// MetricsRegistry is the process-wide metrics surface: counters, gauges, and
+// latency histograms with a Prometheus text exposition and a JSON snapshot.
+// Every layer (middlebox, tracedb, stream, parallel, fault, store) exposes an
+// Observe method that registers its instruments into one of these.
+type MetricsRegistry = obs.Registry
+
+// Metric instrument and snapshot types, for callers that register their own
+// instruments or post-process a snapshot (radwatch's -obs mode does the
+// latter).
+type (
+	MetricCounter      = obs.Counter
+	MetricGauge        = obs.Gauge
+	LatencyHistogram   = obs.Histogram
+	MetricsSnapshot    = obs.Snapshot
+	CounterSnapshot    = obs.CounterSnapshot
+	GaugeSnapshot      = obs.GaugeSnapshot
+	MetricHistSnapshot = obs.HistogramSnapshot
+)
+
+// DefaultLatencyBuckets is the shared histogram bucket ladder (1µs–60s),
+// tuned so serial exchanges, retries, and whole-procedure timings all land
+// in distinct buckets.
+var DefaultLatencyBuckets = obs.DefaultLatencyBuckets
+
+// NewMetricsRegistry returns an empty registry; NewMetricsMux wraps one in an
+// http.ServeMux serving /metrics (Prometheus text), /snapshot (JSON), and
+// net/http/pprof under /debug/pprof/.
+var (
+	NewMetricsRegistry = obs.NewRegistry
+	NewMetricsMux      = obs.ServeMux
+)
+
+// ObserveParallel registers the shared worker-pool instruments (kernel calls,
+// tasks, active workers) into reg. Package-level: the parallel kernels have
+// no object to hang an Observe method on.
+var ObserveParallel = parallel.Observe
 
 // --- The virtual lab and procedures ---
 
