@@ -190,8 +190,11 @@ func (h *Histogram) Observe(d time.Duration) {
 	if n < 0 {
 		n = 0
 	}
+	// The hint may be any index in [0, len(bounds)]; len(bounds) is the
+	// overflow bucket, valid when n exceeds the last bound — so streams
+	// that sit above the top bound stay on the fast path too.
 	i := int(h.hint.Load())
-	if i >= len(h.bounds) || h.bounds[i] < n || (i > 0 && n <= h.bounds[i-1]) {
+	if i > len(h.bounds) || (i > 0 && n <= h.bounds[i-1]) || (i < len(h.bounds) && h.bounds[i] < n) {
 		i = h.rebucket(n)
 	}
 	s := &h.shards[shardIndex(h.mask)]

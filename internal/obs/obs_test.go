@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -63,6 +64,111 @@ func TestObsCounterFuncReplaced(t *testing.T) {
 	reg.CounterFunc("cf_total", func() uint64 { return 9 })
 	if v := reg.Snapshot().Counters[0].Value; v != 9 {
 		t.Fatalf("replaced CounterFunc reads %d, want 9", v)
+	}
+}
+
+// TestObsConcurrentRegisterWhileRender races child creation (the lazy
+// holder/callback binding) against both render paths — the -race guarantee
+// that an entry is never visible to a render before its holder is set, and
+// that two racing creators of one name share a single counter.
+func TestObsConcurrentRegisterWhileRender(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines, names = 8, 32
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < names; i++ {
+				id := strconv.Itoa(i)
+				reg.Counter("race_total", "id", id).Inc()
+				reg.GaugeFunc("race_pull", func() float64 { return float64(g) }, "id", id)
+				reg.Histogram("race_seconds", nil, "id", id).Observe(time.Millisecond)
+			}
+		}()
+	}
+	var renders sync.WaitGroup
+	renders.Add(1)
+	stop := make(chan struct{})
+	go func() {
+		defer renders.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b strings.Builder
+			_ = reg.WritePrometheus(&b)
+			_ = reg.Snapshot()
+		}
+	}()
+	close(start)
+	wg.Wait()
+	close(stop)
+	renders.Wait()
+	// Every racing creator must have bound the same counter per id.
+	for i := 0; i < names; i++ {
+		if got := reg.Counter("race_total", "id", strconv.Itoa(i)).Value(); got != goroutines {
+			t.Fatalf("race_total{id=%d} = %d, want %d (lost increments)", i, got, goroutines)
+		}
+	}
+}
+
+// TestObsUnregisterReleasesFamily: removing a family's last child must
+// release its kind (and help), so churned names can come back — even as a
+// different kind.
+func TestObsUnregisterReleasesFamily(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetHelp("churn", "old help")
+	reg.GaugeFunc("churn", func() float64 { return 1 }, "id", "1")
+	reg.GaugeFunc("churn", func() float64 { return 2 }, "id", "2")
+	reg.Unregister("churn", "id", "1")
+	// One sibling left: the family's kind must still be enforced.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("registering churn as a counter with a live sibling did not panic")
+			}
+		}()
+		reg.Counter("churn", "id", "3")
+	}()
+	reg.Unregister("churn", "id", "2")
+	// Family empty: the name is free again, as any kind.
+	reg.Counter("churn").Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "# TYPE churn counter") {
+		t.Fatalf("reborn family has wrong type:\n%s", b.String())
+	}
+	if strings.Contains(b.String(), "old help") {
+		t.Fatalf("stale help survived family removal:\n%s", b.String())
+	}
+}
+
+// TestObsHistogramOverflowHint: a stream sitting above the last bound must
+// stay correct while reusing the overflow hint, and the hint must recover
+// when the stream drops back into a finite bucket.
+func TestObsHistogramOverflowHint(t *testing.T) {
+	h := newHistogram([]time.Duration{time.Millisecond, time.Second})
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Minute) // all overflow; after the first, hint == len(bounds)
+	}
+	if got := int(h.hint.Load()); got != len(h.bounds) {
+		t.Fatalf("hint = %d, want overflow index %d", got, len(h.bounds))
+	}
+	h.Observe(time.Microsecond) // back to the first bucket
+	counts := h.counts()
+	if counts[0] != 1 || counts[len(counts)-1] != 10 {
+		t.Fatalf("counts = %v, want 1 in first bucket and 10 in overflow", counts)
+	}
+	if got := int(h.hint.Load()); got != 0 {
+		t.Fatalf("hint = %d, want 0 after dropping back", got)
 	}
 }
 

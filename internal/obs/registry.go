@@ -84,47 +84,55 @@ func (r *Registry) SetHelp(name, text string) {
 // Counter returns the counter registered under name and the given
 // key/value label pairs, creating it on first use.
 func (r *Registry) Counter(name string, kv ...string) *Counter {
-	e := r.register(name, KindCounter, kv)
-	if e.counter == nil && e.cfn == nil {
-		e.counter = newCounter()
-	}
-	if e.counter == nil {
-		panic("obs: " + e.id + " is registered as a pull-based counter")
-	}
-	return e.counter
+	var c *Counter
+	r.register(name, KindCounter, kv, func(e *entry) {
+		if e.counter == nil && e.cfn == nil {
+			e.counter = newCounter()
+		}
+		if e.counter == nil {
+			panic("obs: " + e.id + " is registered as a pull-based counter")
+		}
+		c = e.counter
+	})
+	return c
 }
 
 // CounterFunc registers a pull-based counter: fn is read at render time.
 // Re-registering the same name+labels replaces the callback.
 func (r *Registry) CounterFunc(name string, fn func() uint64, kv ...string) {
-	e := r.register(name, KindCounter, kv)
-	if e.counter != nil {
-		panic("obs: " + e.id + " is registered as a direct counter")
-	}
-	e.cfn = fn
+	r.register(name, KindCounter, kv, func(e *entry) {
+		if e.counter != nil {
+			panic("obs: " + e.id + " is registered as a direct counter")
+		}
+		e.cfn = fn
+	})
 }
 
 // Gauge returns the gauge registered under name and the given label pairs,
 // creating it on first use.
 func (r *Registry) Gauge(name string, kv ...string) *Gauge {
-	e := r.register(name, KindGauge, kv)
-	if e.gauge == nil && e.gfn == nil {
-		e.gauge = &Gauge{}
-	}
-	if e.gauge == nil {
-		panic("obs: " + e.id + " is registered as a pull-based gauge")
-	}
-	return e.gauge
+	var g *Gauge
+	r.register(name, KindGauge, kv, func(e *entry) {
+		if e.gauge == nil && e.gfn == nil {
+			e.gauge = &Gauge{}
+		}
+		if e.gauge == nil {
+			panic("obs: " + e.id + " is registered as a pull-based gauge")
+		}
+		g = e.gauge
+	})
+	return g
 }
 
 // GaugeFunc registers a pull-based gauge: fn is read at render time.
 // Re-registering the same name+labels replaces the callback.
 func (r *Registry) GaugeFunc(name string, fn func() float64, kv ...string) {
-	e := r.register(name, KindGauge, kv)
-	if e.gauge != nil {
-		panic("obs: " + e.id + " is registered as a direct gauge")
-	}
-	e.gfn = fn
+	r.register(name, KindGauge, kv, func(e *entry) {
+		if e.gauge != nil {
+			panic("obs: " + e.id + " is registered as a direct gauge")
+		}
+		e.gfn = fn
+	})
 }
 
 // Histogram returns the histogram registered under name and the given
@@ -132,11 +140,14 @@ func (r *Registry) GaugeFunc(name string, fn func() float64, kv ...string) {
 // (nil selects DefaultLatencyBuckets). Buckets are fixed at creation;
 // re-registration returns the existing histogram unchanged.
 func (r *Registry) Histogram(name string, buckets []time.Duration, kv ...string) *Histogram {
-	e := r.register(name, KindHistogram, kv)
-	if e.hist == nil {
-		e.hist = newHistogram(buckets)
-	}
-	return e.hist
+	var h *Histogram
+	r.register(name, KindHistogram, kv, func(e *entry) {
+		if e.hist == nil {
+			e.hist = newHistogram(buckets)
+		}
+		h = e.hist
+	})
+	return h
 }
 
 // Unregister removes the metric child with the given name and label set,
@@ -151,30 +162,46 @@ func (r *Registry) Unregister(name string, kv ...string) bool {
 	}
 	delete(r.byID, id)
 	r.dirty = true
+	for _, e := range r.byID {
+		if e.name == name {
+			return true
+		}
+	}
+	// Last child of the family: release its kind and help so the name can
+	// be registered afresh (even as a different kind) after churn.
+	delete(r.kinds, name)
+	delete(r.help, name)
 	return true
 }
 
 // register finds or creates the entry for name+labels, enforcing one kind
-// per family.
-func (r *Registry) register(name string, kind Kind, kv []string) *entry {
+// per family, then invokes bind on it while r.mu is still held — so an
+// entry is never visible to a render without its holder or callback set,
+// and two racing creators of the same child bind against one entry. A new
+// entry is published only after bind returns, so a panicking bind (kind
+// conflict) leaves no half-registered child behind.
+func (r *Registry) register(name string, kind Kind, kv []string, bind func(*entry)) {
 	labels := parseLabels(name, kv)
 	id := metricID(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if e, ok := r.byID[id]; ok {
+	e, existing := r.byID[id]
+	if existing {
 		if e.kind != kind {
 			panic(fmt.Sprintf("obs: %s already registered as a %s, not a %s", id, e.kind, kind))
 		}
-		return e
+	} else {
+		if k, ok := r.kinds[name]; ok && k != kind {
+			panic(fmt.Sprintf("obs: family %s already registered as a %s, not a %s", name, k, kind))
+		}
+		e = &entry{name: name, labels: labels, id: id, kind: kind}
 	}
-	if k, ok := r.kinds[name]; ok && k != kind {
-		panic(fmt.Sprintf("obs: family %s already registered as a %s, not a %s", name, k, kind))
+	bind(e)
+	if !existing {
+		r.kinds[name] = kind
+		r.byID[id] = e
+		r.dirty = true
 	}
-	r.kinds[name] = kind
-	e := &entry{name: name, labels: labels, id: id, kind: kind}
-	r.byID[id] = e
-	r.dirty = true
-	return e
 }
 
 // entries returns the registered children sorted by family name then label
