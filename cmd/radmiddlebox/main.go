@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	radmiddlebox [-listen ADDR] [-store DIR] [-trace FILE.jsonl] [-csv FILE.csv] [-network lan|cloud|none] [-power] [-stream ADDR]
+//	radmiddlebox [-listen ADDR] [-store DIR] [-trace FILE.jsonl] [-csv FILE.csv] [-network lan|cloud|none] [-power] [-stream ADDR] [-proto auto|v1|v2]
 //
 // Stop with SIGINT/SIGTERM; traces are flushed on shutdown. A -store
 // directory survives crashes (torn tails are truncated on reopen) and is
@@ -65,6 +65,7 @@ func run(args []string, stop <-chan struct{}) error {
 	network := fs.String("network", "lan", "emulated network profile: lan, cloud, or none")
 	withPower := fs.Bool("power", true, "attach the UR3e power monitor")
 	streamAddr := fs.String("stream", "", "live-stream listen address ('' disables)")
+	protoFlag := fs.String("proto", "auto", "wire protocol served to clients: auto (negotiate per connection), v1 (JSON only), or v2 (binary only)")
 	obsAddr := fs.String("obs-addr", "", "telemetry listen address serving /metrics, /snapshot, and /debug/pprof ('' disables)")
 	seed := fs.Uint64("seed", 1, "device simulation seed")
 	faultSpec := fs.String("fault-profile", "", "fault-injection profile: none, flaky, or chaos, with optional key=value overrides (e.g. flaky,hang=0.01)")
@@ -78,6 +79,10 @@ func run(args []string, stop <-chan struct{}) error {
 		return err
 	}
 	faults, err := rad.ParseFaultProfile(*faultSpec)
+	if err != nil {
+		return err
+	}
+	proto, err := rad.ParseWireProto(*protoFlag)
 	if err != nil {
 		return err
 	}
@@ -206,6 +211,10 @@ func run(args []string, stop <-chan struct{}) error {
 			defer stopBridge()
 		}
 		streamSrv = rad.NewStreamServer(broker, tdb)
+		streamSrv.SetProtocol(proto)
+		if reg != nil {
+			streamSrv.Observe(reg)
+		}
 		saddr, err := streamSrv.Start(*streamAddr)
 		if err != nil {
 			return err
@@ -262,11 +271,15 @@ func run(args []string, stop <-chan struct{}) error {
 	}
 
 	srv := rad.NewMiddleboxServer(core, profile, *seed+6)
+	srv.SetProtocol(proto)
+	if reg != nil {
+		srv.Observe(reg)
+	}
 	addr, err := srv.Start(*listen)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("middlebox listening on %s (network=%s, power=%t)\n", addr, *network, *withPower)
+	fmt.Printf("middlebox listening on %s (network=%s, power=%t, proto=%s)\n", addr, *network, *withPower, proto)
 	if faults.Active() {
 		fmt.Printf("fault injection active: %s\n", *faultSpec)
 	}

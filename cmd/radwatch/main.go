@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	radwatch -addr HOST:PORT [filters] [-snapshot] [-power] [-format text|jsonl|csv] [-limit N]
+//	radwatch -addr HOST:PORT [filters] [-snapshot] [-power] [-proto auto|v1|v2] [-format text|jsonl|csv] [-limit N]
 //	radwatch -addr HOST:PORT -ids -train TRACE.jsonl [-order N] [-window N] [-alerts FILE]
 //	radwatch -obs HOST:PORT [-interval DUR] [-limit N]
 //
@@ -61,6 +61,7 @@ func run(args []string, out io.Writer) error {
 	buffer := fs.Int("buffer", 0, "server-side ring capacity (0 = default)")
 	format := fs.String("format", "text", "output: text, jsonl, or csv")
 	limit := fs.Int("limit", 0, "stop after N events (0 = forever)")
+	protoFlag := fs.String("proto", "auto", "wire protocol: auto (try v2 binary, fall back to v1 JSON), v1, or v2")
 	obsAddr := fs.String("obs", "", "middlebox telemetry address (-obs-addr): poll /snapshot and pretty-print metrics instead of tailing the stream")
 	interval := fs.Duration("interval", 2*time.Second, "obs: polling interval")
 	idsMode := fs.Bool("ids", false, "run the online IDS over the stream instead of printing records")
@@ -69,6 +70,10 @@ func run(args []string, out io.Writer) error {
 	window := fs.Int("window", 0, "ids: sliding-window size in commands (0 = auto)")
 	rules := fs.Bool("rules", false, "ids: also run the middlebox rule engine")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	proto, err := rad.ParseWireProto(*protoFlag)
+	if err != nil {
 		return err
 	}
 	if *obsAddr != "" {
@@ -92,14 +97,14 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return watchIDS(out, *addr, req, det, *window, *rules, *format, *limit)
+		return watchIDS(out, *addr, req, proto, det, *window, *rules, *format, *limit)
 	}
-	return watch(out, *addr, req, *format, *limit)
+	return watch(out, *addr, req, proto, *format, *limit)
 }
 
 // watch prints the raw event stream.
-func watch(out io.Writer, addr string, req rad.StreamSubscribe, format string, limit int) error {
-	client, err := rad.DialStream(addr, req)
+func watch(out io.Writer, addr string, req rad.StreamSubscribe, proto rad.WireProto, format string, limit int) error {
+	client, err := rad.DialStreamProto(addr, req, proto)
 	if err != nil {
 		return err
 	}
@@ -219,7 +224,7 @@ func detectorFromRecords(recs []rad.TraceRecord, order int) (*rad.PerplexityDete
 }
 
 // watchIDS runs the online detector over the stream and emits alerts.
-func watchIDS(out io.Writer, addr string, req rad.StreamSubscribe, det *rad.PerplexityDetector,
+func watchIDS(out io.Writer, addr string, req rad.StreamSubscribe, proto rad.WireProto, det *rad.PerplexityDetector,
 	window int, withRules bool, format string, limit int) error {
 	emit, flush, err := alertPrinter(out, format)
 	if err != nil {
@@ -241,7 +246,7 @@ func watchIDS(out io.Writer, addr string, req rad.StreamSubscribe, det *rad.Perp
 	}
 	fmt.Fprintf(os.Stderr, "radwatch: online IDS armed, window threshold %.3f\n", ids.Threshold())
 
-	client, err := rad.DialStream(addr, req)
+	client, err := rad.DialStreamProto(addr, req, proto)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,191 @@
+package middlebox
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"rad/internal/store"
+	"rad/internal/wire"
+)
+
+// TestWireMixedVersionFleet runs a fleet of v1, v2, and auto-negotiating
+// clients against one listener concurrently. Every client uploads the same
+// DIRECT-mode trace set, so the store must end up holding one record per
+// (client, upload) — and for each upload index, every client's copy must be
+// byte-identical modulo the store-assigned sequence number. Any field the
+// binary codec drops, mangles, or re-encodes differently from JSON shows up
+// as a mismatch inside an index group.
+func TestWireMixedVersionFleet(t *testing.T) {
+	core, sink, _ := newTestCore(t)
+	srv := NewServer(core, NetworkProfile{}, 1)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const uploads = 8
+	protos := []wire.Proto{wire.ProtoV1, wire.ProtoV1, wire.ProtoV2, wire.ProtoV2, wire.ProtoAuto}
+	wantVersion := []wire.Version{wire.V1, wire.V1, wire.V2, wire.V2, wire.V2}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(protos))
+	for ci, proto := range protos {
+		wg.Add(1)
+		go func(ci int, proto wire.Proto) {
+			defer wg.Done()
+			conn, wc, err := wire.Dial(addr, proto, nil)
+			if err != nil {
+				errs <- fmt.Errorf("client %d: dial: %w", ci, err)
+				return
+			}
+			defer conn.Close()
+			if wc.Version() != wantVersion[ci] {
+				errs <- fmt.Errorf("client %d: negotiated %s, want %s", ci, wc.Version(), wantVersion[ci])
+				return
+			}
+			for i := 0; i < uploads; i++ {
+				req := wire.Request{
+					Op:         wire.OpTrace,
+					Device:     "C9",
+					Name:       "ARM",
+					Args:       []string{fmt.Sprintf("%d", i), "ünïcödé", ""},
+					Value:      "ok",
+					StartNanos: int64(1000 + i),
+					EndNanos:   int64(2000 + i),
+					Procedure:  "P3",
+					Run:        "mixed-fleet",
+				}
+				if i%3 == 0 {
+					req.Error = "front door crashed"
+				}
+				if err := wc.WriteFrame(req); err != nil {
+					errs <- fmt.Errorf("client %d upload %d: %w", ci, i, err)
+					return
+				}
+				var rep wire.Reply
+				if err := wc.ReadFrame(&rep); err != nil {
+					errs <- fmt.Errorf("client %d upload %d: read reply: %w", ci, i, err)
+					return
+				}
+				if rep.Error != "" {
+					errs <- fmt.Errorf("client %d upload %d: server error %q", ci, i, rep.Error)
+					return
+				}
+			}
+		}(ci, proto)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	records := sink.All()
+	if len(records) != len(protos)*uploads {
+		t.Fatalf("store holds %d records, want %d", len(records), len(protos)*uploads)
+	}
+	// Group by upload index (recoverable from StartNanos) and require every
+	// group to be one identical record seen len(protos) times.
+	groups := make(map[int64][]store.Record)
+	for _, r := range records {
+		groups[r.Time.UnixNano()] = append(groups[r.Time.UnixNano()], r)
+	}
+	if len(groups) != uploads {
+		t.Fatalf("%d distinct uploads in store, want %d", len(groups), uploads)
+	}
+	for nanos, group := range groups {
+		if len(group) != len(protos) {
+			t.Fatalf("upload at %d has %d copies, want %d", nanos, len(group), len(protos))
+		}
+		want := canonical(t, group[0])
+		for _, r := range group[1:] {
+			if got := canonical(t, r); got != want {
+				t.Errorf("upload at %d diverges across protocols:\n got %s\nwant %s", nanos, got, want)
+			}
+		}
+	}
+}
+
+// canonical renders a record as JSON with the store-assigned Seq zeroed —
+// the byte-identity the mixed-fleet guarantee is stated in.
+func canonical(t *testing.T, r store.Record) string {
+	t.Helper()
+	r.Seq = 0
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestWireMiddleboxPinnedProtocols pins SetProtocol's two restricted modes:
+// a v1-pinned listener serves v1 clients and never upgrades, a v2-pinned
+// listener rejects v1 clients outright.
+func TestWireMiddleboxPinnedProtocols(t *testing.T) {
+	t.Run("v1 pin", func(t *testing.T) {
+		core, _, _ := newTestCore(t)
+		srv := NewServer(core, NetworkProfile{}, 1)
+		srv.SetProtocol(wire.ProtoV1)
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+
+		// An auto dialer's v2 handshake dies (pinned server reads the
+		// preamble as a broken v1 frame) and falls back to v1.
+		conn, wc, err := wire.Dial(addr, wire.ProtoAuto, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if wc.Version() != wire.V1 {
+			t.Fatalf("auto against v1-pinned server negotiated %s", wc.Version())
+		}
+		if err := wc.WriteFrame(wire.Request{ID: 1, Op: wire.OpPing}); err != nil {
+			t.Fatal(err)
+		}
+		var rep wire.Reply
+		if err := wc.ReadFrame(&rep); err != nil || rep.Value != "pong" {
+			t.Fatalf("ping over fallback v1: %+v, %v", rep, err)
+		}
+	})
+	t.Run("v2 pin", func(t *testing.T) {
+		core, _, _ := newTestCore(t)
+		srv := NewServer(core, NetworkProfile{}, 1)
+		srv.SetProtocol(wire.ProtoV2)
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+
+		conn, wc, err := wire.Dial(addr, wire.ProtoV2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if err := wc.WriteFrame(wire.Request{ID: 1, Op: wire.OpPing}); err != nil {
+			t.Fatal(err)
+		}
+		var rep wire.Reply
+		if err := wc.ReadFrame(&rep); err != nil || rep.Value != "pong" {
+			t.Fatalf("ping over pinned v2: %+v, %v", rep, err)
+		}
+
+		// A v1 client's first frame is rejected at negotiation: the
+		// connection just dies, and the client sees EOF on the reply read.
+		conn2, wc2, err := wire.Dial(addr, wire.ProtoV1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn2.Close()
+		_ = wc2.WriteFrame(wire.Request{ID: 1, Op: wire.OpPing})
+		if err := wc2.ReadFrame(&rep); err == nil {
+			t.Fatal("v1 client got a reply from a v2-pinned listener")
+		}
+	})
+}

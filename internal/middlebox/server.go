@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"rad/internal/obs"
 	"rad/internal/wire"
 )
 
@@ -67,9 +68,16 @@ func (p NetworkProfile) Delay(rng *rand.Rand) time.Duration {
 
 // Server exposes a Core over TCP using the wire protocol. One goroutine per
 // connection; requests on a connection are served in order.
+//
+// Each connection's protocol version is negotiated on accept (wire.Accept):
+// by default the listener serves v1 JSON clients and v2 binary clients side
+// by side, distinguished by the connection preamble. SetProtocol pins the
+// listener to one version instead.
 type Server struct {
 	core    *Core
 	profile NetworkProfile
+	proto   wire.Proto
+	wireM   *wire.Metrics
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -89,6 +97,15 @@ func NewServer(core *Core, profile NetworkProfile, seed uint64) *Server {
 		rng:     rand.New(rand.NewPCG(seed, seed^0xa0761d6478bd642f)),
 	}
 }
+
+// SetProtocol restricts which wire protocol versions the listener accepts;
+// the default (wire.ProtoAuto) negotiates per connection. Call before
+// Start.
+func (s *Server) SetProtocol(p wire.Proto) { s.proto = p }
+
+// Observe registers per-protocol wire metrics (frame counters,
+// encode/decode latency histograms) in reg. Call before Start.
+func (s *Server) Observe(reg *obs.Registry) { s.wireM = wire.NewMetrics(reg) }
 
 // Start listens on addr (e.g. "127.0.0.1:0") and begins serving in the
 // background. It returns the bound address.
@@ -140,15 +157,19 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	wc, err := wire.Accept(conn, s.proto, s.wireM)
+	if err != nil {
+		return // dead or protocol-confused peer: drop the connection
+	}
 	for {
 		var req wire.Request
-		if err := wire.ReadFrame(conn, &req); err != nil {
+		if err := wc.ReadFrame(&req); err != nil {
 			return // EOF or a broken/odd frame: drop the connection
 		}
 		s.sleep(s.sampleDelay()) // inbound network
 		reply := s.core.Handle(req)
 		s.sleep(s.sampleDelay()) // outbound network
-		if err := wire.WriteFrame(conn, reply); err != nil {
+		if err := wc.WriteFrame(reply); err != nil {
 			return
 		}
 	}

@@ -3,9 +3,11 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
+	"rad/internal/obs"
 	"rad/internal/store"
 	"rad/internal/tracedb"
 	"rad/internal/wire"
@@ -16,12 +18,22 @@ import (
 // Each connection gets its own broker subscription, so the overflow policy
 // and drop accounting are per-tailer; a stalled client under drop-oldest
 // costs the middlebox nothing but that client's own ring.
+//
+// Like the middlebox listener, the tail listener negotiates each
+// connection's protocol version on accept: v1 JSON tailers and v2 binary
+// tailers share the listener, distinguished by the connection preamble.
 type Server struct {
 	broker *Broker
 	db     *tracedb.DB // snapshot source; nil disables snapshot-then-follow
+	proto  wire.Proto
+	wireM  *wire.Metrics
 
-	mu     sync.Mutex
-	ln     net.Listener
+	mu sync.Mutex
+	ln net.Listener
+	// conns tracks every accepted connection from the moment it lands —
+	// value nil until its subscription attaches — so Close can sever a
+	// client that dies (or stalls) mid-negotiation instead of waiting on
+	// it forever.
 	conns  map[net.Conn]*Subscriber
 	closed bool
 	wg     sync.WaitGroup
@@ -36,6 +48,15 @@ const maxSubscriberBuffer = 1 << 16
 func NewServer(broker *Broker, db *tracedb.DB) *Server {
 	return &Server{broker: broker, db: db, conns: make(map[net.Conn]*Subscriber)}
 }
+
+// SetProtocol restricts which wire protocol versions the tail listener
+// accepts; the default (wire.ProtoAuto) negotiates per connection. Call
+// before Start.
+func (s *Server) SetProtocol(p wire.Proto) { s.proto = p }
+
+// Observe registers per-protocol wire metrics in reg (shared with any
+// other listener observing the same registry). Call before Start.
+func (s *Server) Observe(reg *obs.Registry) { s.wireM = wire.NewMetrics(reg) }
 
 // Start listens on addr (e.g. "127.0.0.1:0") and serves in the background,
 // returning the bound address.
@@ -65,6 +86,14 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = nil // tracked before negotiation; see Server.conns
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
@@ -72,25 +101,41 @@ func (s *Server) acceptLoop(ln net.Listener) {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
-	defer conn.Close()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
 
+	wc, err := wire.Accept(conn, s.proto, s.wireM)
+	if err != nil {
+		return // connection died mid-negotiation: nothing to tell anyone
+	}
 	var req wire.Subscribe
-	if err := wire.ReadFrame(conn, &req); err != nil {
+	if err := wc.ReadFrame(&req); err != nil {
+		if wc.Version() == wire.V2 && !errors.Is(err, io.EOF) {
+			// The peer completed the v2 handshake, so it can decode an
+			// error frame: report the malformed subscribe precisely
+			// instead of closing silently.
+			_ = wc.WriteFrame(wire.Event{Kind: wire.EventError,
+				Error: fmt.Sprintf("stream: bad subscribe frame: %v", err)})
+		}
 		return
 	}
 	if err := req.Validate(); err != nil {
-		_ = wire.WriteFrame(conn, wire.Event{Kind: wire.EventError, Error: err.Error()})
+		_ = wc.WriteFrame(wire.Event{Kind: wire.EventError, Error: err.Error()})
 		return
 	}
 	if req.Snapshot && s.db == nil {
-		_ = wire.WriteFrame(conn, wire.Event{Kind: wire.EventError,
+		_ = wc.WriteFrame(wire.Event{Kind: wire.EventError,
 			Error: "stream: snapshot requested but the middlebox has no persistent store"})
 		return
 	}
 	opts := subOptions(req, conn)
 
 	if req.Snapshot {
-		s.serveTail(conn, opts)
+		s.serveTail(conn, wc, opts)
 		return
 	}
 	sub := s.broker.Subscribe(opts)
@@ -100,7 +145,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	defer s.untrack(conn, sub)
 	s.watchConn(conn, sub)
-	s.pump(conn, sub, 0)
+	s.pump(wc, sub, 0)
 }
 
 // watchConn closes sub as soon as the client's connection dies. The tail
@@ -122,7 +167,7 @@ func (s *Server) watchConn(conn net.Conn, sub *Subscriber) {
 
 // serveTail runs the snapshot-then-follow protocol: history, the
 // snapshot-end marker, then the live feed.
-func (s *Server) serveTail(conn net.Conn, opts SubOptions) {
+func (s *Server) serveTail(conn net.Conn, wc *wire.Conn, opts SubOptions) {
 	tail := s.broker.Tail(s.db, opts)
 	if !s.track(conn, tail.Subscriber()) {
 		tail.Close()
@@ -133,13 +178,13 @@ func (s *Server) serveTail(conn net.Conn, opts SubOptions) {
 
 	err := tail.Snapshot(func(r store.Record) error {
 		rec := r
-		return wire.WriteFrame(conn, wire.Event{Kind: wire.EventTrace, Record: &rec})
+		return wc.WriteFrame(wire.Event{Kind: wire.EventTrace, Record: &rec})
 	})
 	if err != nil {
-		_ = wire.WriteFrame(conn, wire.Event{Kind: wire.EventError, Error: err.Error()})
+		_ = wc.WriteFrame(wire.Event{Kind: wire.EventError, Error: err.Error()})
 		return
 	}
-	if wire.WriteFrame(conn, wire.Event{Kind: wire.EventSnapshotEnd}) != nil {
+	if wc.WriteFrame(wire.Event{Kind: wire.EventSnapshotEnd}) != nil {
 		return
 	}
 	var reported uint64
@@ -148,7 +193,7 @@ func (s *Server) serveTail(conn net.Conn, opts SubOptions) {
 		if !ok {
 			return
 		}
-		if s.writeEvent(conn, ev, tail.Subscriber(), &reported) != nil {
+		if s.writeEvent(wc, ev, tail.Subscriber(), &reported) != nil {
 			return
 		}
 	}
@@ -156,13 +201,13 @@ func (s *Server) serveTail(conn net.Conn, opts SubOptions) {
 
 // pump forwards live events until the client disconnects or the subscriber
 // closes.
-func (s *Server) pump(conn net.Conn, sub *Subscriber, reportedDrops uint64) {
+func (s *Server) pump(wc *wire.Conn, sub *Subscriber, reportedDrops uint64) {
 	for {
 		ev, ok := sub.Recv()
 		if !ok {
 			return
 		}
-		if s.writeEvent(conn, ev, sub, &reportedDrops) != nil {
+		if s.writeEvent(wc, ev, sub, &reportedDrops) != nil {
 			return
 		}
 	}
@@ -170,7 +215,7 @@ func (s *Server) pump(conn net.Conn, sub *Subscriber, reportedDrops uint64) {
 
 // writeEvent frames one event, attaching the number of events shed since the
 // previous frame so the client's drop accounting stays exact.
-func (s *Server) writeEvent(conn net.Conn, ev Event, sub *Subscriber, reported *uint64) error {
+func (s *Server) writeEvent(wc *wire.Conn, ev Event, sub *Subscriber, reported *uint64) error {
 	frame := wire.Event{}
 	switch ev.Kind {
 	case KindTrace:
@@ -188,7 +233,7 @@ func (s *Server) writeEvent(conn net.Conn, ev Event, sub *Subscriber, reported *
 		frame.Dropped = dropped - *reported
 		*reported = dropped
 	}
-	return wire.WriteFrame(conn, frame)
+	return wc.WriteFrame(frame)
 }
 
 // track registers a connection's subscriber for shutdown; it reports false
@@ -217,7 +262,11 @@ func (s *Server) Close() error {
 	s.closed = true
 	ln := s.ln
 	for conn, sub := range s.conns {
-		sub.Close() // unblocks Recv
+		if sub != nil {
+			sub.Close() // unblocks Recv
+		}
+		// A nil sub is a connection still negotiating or awaiting its
+		// subscribe frame; closing the conn unblocks that read.
 		_ = conn.Close()
 	}
 	s.mu.Unlock()
@@ -256,28 +305,39 @@ func subOptions(req wire.Subscribe, conn net.Conn) SubOptions {
 // Subscribe frame, and decodes Event frames.
 type Client struct {
 	conn net.Conn
+	wc   *wire.Conn
 }
 
-// Dial connects to a stream listener and subscribes. The request's Op is
-// set for the caller.
+// Dial connects to a stream listener over the v1 JSON protocol and
+// subscribes. The request's Op is set for the caller.
 func Dial(addr string, req wire.Subscribe) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialProto(addr, req, wire.ProtoV1)
+}
+
+// DialProto is Dial with an explicit protocol selector: wire.ProtoAuto
+// negotiates v2 with an upgraded listener and falls back to v1, wire.ProtoV2
+// fails unless the listener speaks the binary protocol.
+func DialProto(addr string, req wire.Subscribe, proto wire.Proto) (*Client, error) {
+	conn, wc, err := wire.Dial(addr, proto, nil)
 	if err != nil {
 		return nil, fmt.Errorf("stream: dial %s: %w", addr, err)
 	}
 	req.Op = wire.OpSubscribe
-	if err := wire.WriteFrame(conn, req); err != nil {
+	if err := wc.WriteFrame(req); err != nil {
 		_ = conn.Close()
 		return nil, fmt.Errorf("stream: send subscribe: %w", err)
 	}
-	return &Client{conn: conn}, nil
+	return &Client{conn: conn, wc: wc}, nil
 }
+
+// Protocol reports the wire protocol version the subscription negotiated.
+func (c *Client) Protocol() wire.Version { return c.wc.Version() }
 
 // Recv reads the next event frame. A server-reported subscription failure
 // is surfaced as an error; io.EOF means the server closed the stream.
 func (c *Client) Recv() (wire.Event, error) {
 	var ev wire.Event
-	if err := wire.ReadFrame(c.conn, &ev); err != nil {
+	if err := c.wc.ReadFrame(&ev); err != nil {
 		return wire.Event{}, err
 	}
 	if ev.Kind == wire.EventError {

@@ -1,0 +1,259 @@
+package stream_test
+
+import (
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"rad/internal/store"
+	"rad/internal/stream"
+	"rad/internal/tracedb"
+	"rad/internal/wire"
+)
+
+// TestWireMixedVersionTail subscribes a v1 tailer, a v2 tailer, and an
+// auto-negotiating tailer to the same listener, publishes one feed, and
+// requires every client to see identical events — the protocol version must
+// be invisible above the framing.
+func TestWireMixedVersionTail(t *testing.T) {
+	broker := stream.NewBroker()
+	defer broker.Close()
+	_, addr := startServer(t, broker, nil)
+
+	protos := []wire.Proto{wire.ProtoV1, wire.ProtoV2, wire.ProtoAuto}
+	wantVersion := []wire.Version{wire.V1, wire.V2, wire.V2}
+	clients := make([]*stream.Client, len(protos))
+	for i, p := range protos {
+		c, err := stream.DialProto(addr, wire.Subscribe{Name: p.String()}, p)
+		if err != nil {
+			t.Fatalf("client %d (%s): %v", i, p, err)
+		}
+		defer c.Close()
+		if c.Protocol() != wantVersion[i] {
+			t.Fatalf("client %d negotiated %s, want %s", i, c.Protocol(), wantVersion[i])
+		}
+		clients[i] = c
+	}
+	waitForSubscriber(t, broker, len(clients))
+
+	const events = 16
+	go func() {
+		for i := 0; i < events; i++ {
+			broker.Publish(store.Record{
+				Seq: uint64(i), Time: time.Unix(0, int64(1000+i)).UTC(),
+				Device: "UR3e", Name: "move_joints",
+				Args: []string{"0.5", "ünïcödé"}, Response: "ok", Run: "mixed-tail",
+			})
+		}
+	}()
+
+	// Collect per client, then compare the streams as JSON.
+	streams := make([][]string, len(clients))
+	for ci, c := range clients {
+		for i := 0; i < events; i++ {
+			ev, err := c.Recv()
+			if err != nil {
+				t.Fatalf("client %d event %d: %v", ci, i, err)
+			}
+			b, err := json.Marshal(ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			streams[ci] = append(streams[ci], string(b))
+		}
+	}
+	for ci := 1; ci < len(streams); ci++ {
+		for i := range streams[0] {
+			if streams[ci][i] != streams[0][i] {
+				t.Errorf("event %d diverges between %s and %s:\n %s\n %s",
+					i, protos[0], protos[ci], streams[0][i], streams[ci][i])
+			}
+		}
+	}
+}
+
+// TestWireV2BadSubscribeGetsEventError pins the satellite fix: a peer that
+// completes the v2 handshake and then sends a malformed subscribe gets a
+// precise EventError frame back, not a silent close.
+func TestWireV2BadSubscribeGetsEventError(t *testing.T) {
+	broker := stream.NewBroker()
+	defer broker.Close()
+	_, addr := startServer(t, broker, nil)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	wc, err := wire.ClientV2(conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A well-formed v2 frame of the wrong type: decodes as garbage for a
+	// Subscribe, so the server must answer with the decode error.
+	if err := wc.WriteFrame(wire.Request{ID: 1, Op: wire.OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	var ev wire.Event
+	if err := wc.ReadFrame(&ev); err != nil {
+		t.Fatalf("want an EventError frame, read failed: %v", err)
+	}
+	if ev.Kind != wire.EventError || !strings.Contains(ev.Error, "bad subscribe frame") {
+		t.Fatalf("got %+v, want EventError mentioning the bad subscribe", ev)
+	}
+}
+
+// TestWireV1BadSubscribeStillSilent: a v1 peer never negotiated anything,
+// so the server cannot know the garbage was meant as a subscribe — the
+// pre-v2 behaviour (close without a reply) is preserved.
+func TestWireV1BadSubscribeStillSilent(t *testing.T) {
+	broker := stream.NewBroker()
+	defer broker.Close()
+	_, addr := startServer(t, broker, nil)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WriteFrame(conn, "not a subscribe"); err != nil {
+		t.Fatal(err)
+	}
+	var ev wire.Event
+	if err := wire.ReadFrame(conn, &ev); err == nil {
+		t.Fatalf("v1 garbage got a reply frame: %+v", ev)
+	}
+}
+
+// TestWireStreamCloseSeversPreSubscribeConn: connections are tracked from
+// the moment they land, so Close cannot be held hostage by a client that
+// connected and then went quiet before (or during) negotiation.
+func TestWireStreamCloseSeversPreSubscribeConn(t *testing.T) {
+	broker := stream.NewBroker()
+	defer broker.Close()
+	srv, addr := startServer(t, broker, nil)
+
+	// Three stalls at different protocol stages: nothing sent, a partial v2
+	// preamble, and a full handshake with no subscribe.
+	quiet, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer quiet.Close()
+	partial, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer partial.Close()
+	if _, err := partial.Write([]byte{'R', 'A'}); err != nil {
+		t.Fatal(err)
+	}
+	shaken, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shaken.Close()
+	if _, err := wire.ClientV2(shaken, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on pre-subscribe connections")
+	}
+}
+
+// TestWireStreamDeadConnDuringNegotiation: a client that dies mid-handshake
+// must cost the server nothing — the next subscriber is served normally.
+func TestWireStreamDeadConnDuringNegotiation(t *testing.T) {
+	broker := stream.NewBroker()
+	defer broker.Close()
+	_, addr := startServer(t, broker, nil)
+
+	dying, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dying.Write([]byte{'R', 'A', 'D'}); err != nil {
+		t.Fatal(err)
+	}
+	_ = dying.Close()
+
+	client, err := stream.DialProto(addr, wire.Subscribe{Name: "survivor"}, wire.ProtoV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	waitForSubscriber(t, broker, 1)
+	broker.Publish(rec(7, "C9", "MVNG"))
+	if ev, err := client.Recv(); err != nil || ev.Record == nil || ev.Record.Seq != 7 {
+		t.Fatalf("survivor recv = %+v, %v", ev, err)
+	}
+}
+
+// TestWireV2SnapshotThenFollow runs the full snapshot-then-follow protocol
+// over the binary framing, with records that exercise the codec's time and
+// args paths end to end through the tracedb.
+func TestWireV2SnapshotThenFollow(t *testing.T) {
+	db, broker, addr := snapshotFixture(t)
+	defer broker.Close()
+
+	client, err := stream.DialProto(addr, wire.Subscribe{Snapshot: true, Policy: wire.PolicyBlock}, wire.ProtoV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if client.Protocol() != wire.V2 {
+		t.Fatalf("negotiated %s, want v2", client.Protocol())
+	}
+	for want := uint64(0); want < 5; want++ {
+		ev, err := client.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind != wire.EventTrace || ev.Record.Seq != want {
+			t.Fatalf("snapshot event %d: %+v", want, ev)
+		}
+		if len(ev.Record.Args) != 2 || ev.Record.Args[1] != "ünïcödé" {
+			t.Fatalf("snapshot record %d args mangled: %+v", want, ev.Record.Args)
+		}
+	}
+	if ev, err := client.Recv(); err != nil || ev.Kind != wire.EventSnapshotEnd {
+		t.Fatalf("want snapshot end, got %+v, %v", ev, err)
+	}
+	if err := db.Append(store.Record{Device: "UR3e", Name: "movej"}); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := client.Recv(); err != nil || ev.Kind != wire.EventTrace || ev.Record.Seq != 5 {
+		t.Fatalf("live event after snapshot: %+v, %v", ev, err)
+	}
+}
+
+func snapshotFixture(t *testing.T) (db *tracedb.DB, broker *stream.Broker, addr string) {
+	t.Helper()
+	tdb, err := tracedb.Open(t.TempDir(), tracedb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tdb.Close() })
+	broker = stream.NewBroker()
+	broker.AttachStore(tdb)
+	_, addr = startServer(t, broker, tdb)
+	for i := 0; i < 5; i++ {
+		if err := tdb.Append(store.Record{
+			Time: time.Unix(0, int64(1000+i)).UTC(), Device: "C9", Name: "MVNG",
+			Args: []string{"x", "ünïcödé"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tdb, broker, addr
+}

@@ -37,25 +37,38 @@ type Transport interface {
 }
 
 // TCPTransport is a Transport over a real TCP connection using the wire
-// protocol. Requests are serialized: the middlebox protocol is strictly
-// request/reply per connection.
+// protocol (v1 JSON or the negotiated v2 binary framing). Requests are
+// serialized: the middlebox protocol is strictly request/reply per
+// connection.
 type TCPTransport struct {
 	mu     sync.Mutex
 	conn   net.Conn
+	wc     *wire.Conn
 	nextID uint64
 	closed bool
 }
 
 var _ Transport = (*TCPTransport)(nil)
 
-// DialTCP connects to a middlebox server.
+// DialTCP connects to a middlebox server over the v1 JSON protocol — the
+// unupgraded client an upgraded middlebox must keep serving.
 func DialTCP(addr string) (*TCPTransport, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTCPProto(addr, wire.ProtoV1)
+}
+
+// DialTCPProto is DialTCP with an explicit protocol selector: wire.ProtoAuto
+// attempts the v2 binary handshake and falls back to v1, wire.ProtoV2 fails
+// unless the middlebox speaks the binary protocol.
+func DialTCPProto(addr string, proto wire.Proto) (*TCPTransport, error) {
+	conn, wc, err := wire.Dial(addr, proto, nil)
 	if err != nil {
 		return nil, fmt.Errorf("tracer: dial middlebox %s: %w", addr, err)
 	}
-	return &TCPTransport{conn: conn}, nil
+	return &TCPTransport{conn: conn, wc: wc}, nil
 }
+
+// Protocol reports the wire protocol version the transport negotiated.
+func (t *TCPTransport) Protocol() wire.Version { return t.wc.Version() }
 
 // RoundTrip implements Transport.
 func (t *TCPTransport) RoundTrip(req wire.Request) (wire.Reply, error) {
@@ -66,11 +79,11 @@ func (t *TCPTransport) RoundTrip(req wire.Request) (wire.Reply, error) {
 	}
 	t.nextID++
 	req.ID = t.nextID
-	if err := wire.WriteFrame(t.conn, req); err != nil {
+	if err := t.wc.WriteFrame(req); err != nil {
 		return wire.Reply{}, fmt.Errorf("tracer: send request: %w", err)
 	}
 	var reply wire.Reply
-	if err := wire.ReadFrame(t.conn, &reply); err != nil {
+	if err := t.wc.ReadFrame(&reply); err != nil {
 		return wire.Reply{}, fmt.Errorf("tracer: read reply: %w", err)
 	}
 	if reply.ID != req.ID {

@@ -1,0 +1,64 @@
+//go:build !race
+
+package wire
+
+import (
+	"testing"
+)
+
+// TestWireV2FrameAllocs pins the codec's ~zero-allocation claim where it is
+// exact: encoding any frame into a reused buffer allocates nothing, and
+// decoding a frame whose strings are protocol vocabulary allocates nothing
+// (interning hands back shared instances). Frames carrying novel strings or
+// slices pay only for those values. Excluded under -race: the detector's
+// instrumentation shifts allocation counts.
+func TestWireV2FrameAllocs(t *testing.T) {
+	req := Request{ID: 42, Op: OpExec, Device: "UR3e", Name: "move_joints",
+		Args: []string{"0.5", "-1.2"}, Procedure: "P2", Run: "bench"}
+	rep := Reply{ID: 42, Value: "ok"}
+
+	buf := make([]byte, 0, 512)
+	if n := testing.AllocsPerRun(200, func() {
+		var err error
+		buf, err = appendBinaryFrame(buf[:0], &req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err = appendBinaryFrame(buf, &rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("encode request+reply: %.1f allocs/op, want 0", n)
+	}
+
+	// A reply's strings are interned vocabulary: decoding is allocation-free.
+	payload, err := appendBinaryFrame(nil, &rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Reply
+	if n := testing.AllocsPerRun(200, func() {
+		if err := decodeBinaryFrame(payload, &out); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("decode reply: %.1f allocs/op, want 0", n)
+	}
+
+	// A request pays only for its novel values: the args slice, its two
+	// non-vocabulary strings, and the run label — four allocations, while
+	// op, device, command name, and procedure come from the intern table.
+	reqPayload, err := appendBinaryFrame(nil, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outReq Request
+	if n := testing.AllocsPerRun(200, func() {
+		if err := decodeBinaryFrame(reqPayload, &outReq); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 4 {
+		t.Errorf("decode request with 3 novel strings: %.1f allocs/op, want <= 4", n)
+	}
+}

@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"time"
+
+	"rad/internal/obs"
+)
+
+// codecBuckets resolve the sub-microsecond latencies the frame codecs run
+// at; the default buckets start at 1µs, which would fold every v2 encode
+// into one bin.
+var codecBuckets = []time.Duration{
+	100 * time.Nanosecond, 250 * time.Nanosecond, 500 * time.Nanosecond,
+	1 * time.Microsecond, 2500 * time.Nanosecond, 5 * time.Microsecond,
+	10 * time.Microsecond, 25 * time.Microsecond, 50 * time.Microsecond,
+	100 * time.Microsecond, 250 * time.Microsecond, 1 * time.Millisecond,
+	10 * time.Millisecond,
+}
+
+// Metrics instruments the wire layer: per-protocol connection and frame
+// counters plus encode/decode latency histograms, so the protocol mix and
+// the marshalling cost of a live deployment are visible on the telemetry
+// endpoint. A nil *Metrics (the default everywhere) keeps every path
+// uninstrumented and free.
+//
+// Frame timings are measured with the real clock around the marshal step
+// only — never around socket I/O — so the histograms price the codec, not
+// the network.
+type Metrics struct {
+	conns  [2]*obs.Counter // connections negotiated, by version
+	rx, tx [2]*obs.Counter // frames decoded / encoded, by version
+	dec    [2]*obs.Histogram
+	enc    [2]*obs.Histogram
+}
+
+// NewMetrics registers the wire instruments in reg and returns the handle
+// a Conn carries. Registration is idempotent per registry: the obs layer
+// dedupes by name and label set, so several listeners observing the same
+// registry share one set of instruments.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{}
+	reg.SetHelp("rad_wire_connections_total", "Connections negotiated, by wire protocol version.")
+	reg.SetHelp("rad_wire_frames_total", "Frames moved, by wire protocol version and direction.")
+	reg.SetHelp("rad_wire_decode_seconds", "Frame decode (unmarshal) latency, by wire protocol version.")
+	reg.SetHelp("rad_wire_encode_seconds", "Frame encode (marshal) latency, by wire protocol version.")
+	for i, v := range []Version{V1, V2} {
+		ver := v.String()
+		m.conns[i] = reg.Counter("rad_wire_connections_total", "version", ver)
+		m.rx[i] = reg.Counter("rad_wire_frames_total", "version", ver, "dir", "rx")
+		m.tx[i] = reg.Counter("rad_wire_frames_total", "version", ver, "dir", "tx")
+		m.dec[i] = reg.Histogram("rad_wire_decode_seconds", codecBuckets, "version", ver)
+		m.enc[i] = reg.Histogram("rad_wire_encode_seconds", codecBuckets, "version", ver)
+	}
+	return m
+}

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 	"sync"
 )
 
@@ -34,8 +35,16 @@ import (
 const MaxFrameSize = 1 << 20
 
 // ErrFrameTooLarge is returned when an incoming frame header announces a
-// payload larger than MaxFrameSize.
+// payload larger than MaxFrameSize. Errors produced by the frame readers
+// wrap it with the announced size, so a log line is enough to tell a
+// corrupted header (absurd size) from an oversized-but-real frame.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// frameTooLarge wraps ErrFrameTooLarge with the size the peer announced;
+// errors.Is(err, ErrFrameTooLarge) still matches.
+func frameTooLarge(announced uint64) error {
+	return fmt.Errorf("%w (announced %d bytes, limit %d)", ErrFrameTooLarge, announced, MaxFrameSize)
+}
 
 // Op identifies the kind of request carried in a frame.
 type Op string
@@ -97,11 +106,57 @@ var encPool = sync.Pool{New: func() any {
 	return b
 }}
 
-var decPool = sync.Pool{New: func() any { return new([]byte) }}
+// bufPool holds raw payload buffers shared by the v1 frame reader and the
+// v2 binary codec (both directions).
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
 
-// WriteFrame marshals v as JSON and writes it as one length-prefixed frame.
-// Encode buffers are pooled and fully rewritten per frame, so reuse never
-// leaks bytes from one frame into the next (fuzzed in fuzz_test.go).
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(pb *[]byte) {
+	if cap(*pb) <= pooledLimit {
+		bufPool.Put(pb)
+	}
+}
+
+// sizeBuf returns (*pb)[:n], growing the backing array when it is too
+// small. Growth goes to the next power of two (capped at pooledLimit, the
+// largest buffer the pool retains), so a ramp of slowly growing frames
+// amortizes its reallocation instead of paying one per read; frames above
+// pooledLimit get an exact-size buffer, since it will not be pooled anyway.
+func sizeBuf(pb *[]byte, n int) []byte {
+	if cap(*pb) < n {
+		c := n
+		if n <= pooledLimit {
+			c = 1 << bits.Len(uint(n-1))
+		}
+		*pb = make([]byte, c)
+	}
+	return (*pb)[:n]
+}
+
+// marshal builds the complete v1 frame — 4-byte header plus JSON payload —
+// in b and returns it. The buffer is fully rewritten per frame, so pooled
+// reuse never leaks bytes from one frame into the next (fuzzed in
+// fuzz_test.go).
+func (b *encBuf) marshal(v any) ([]byte, error) {
+	b.buf.Reset()
+	b.buf.Write([]byte{0, 0, 0, 0}) // header placeholder, patched below
+	// Encoder.Encode produces json.Marshal's exact bytes plus a trailing
+	// newline, which the frame length excludes.
+	if err := b.enc.Encode(v); err != nil {
+		return nil, fmt.Errorf("wire: marshal frame: %w", err)
+	}
+	n := b.buf.Len() - 4 - 1
+	if n > MaxFrameSize {
+		return nil, frameTooLarge(uint64(n))
+	}
+	frame := b.buf.Bytes()[:4+n]
+	binary.BigEndian.PutUint32(frame[:4], uint32(n))
+	return frame, nil
+}
+
+// WriteFrame marshals v as JSON and writes it as one length-prefixed v1
+// frame with a single Write call.
 func WriteFrame(w io.Writer, v any) error {
 	b := encPool.Get().(*encBuf)
 	defer func() {
@@ -109,54 +164,50 @@ func WriteFrame(w io.Writer, v any) error {
 			encPool.Put(b)
 		}
 	}()
-	b.buf.Reset()
-	b.buf.Write([]byte{0, 0, 0, 0}) // header placeholder, patched below
-	// Encoder.Encode produces json.Marshal's exact bytes plus a trailing
-	// newline, which the frame length excludes.
-	if err := b.enc.Encode(v); err != nil {
-		return fmt.Errorf("wire: marshal frame: %w", err)
+	frame, err := b.marshal(v)
+	if err != nil {
+		return err
 	}
-	n := b.buf.Len() - 4 - 1
-	if n > MaxFrameSize {
-		return ErrFrameTooLarge
-	}
-	frame := b.buf.Bytes()[:4+n]
-	binary.BigEndian.PutUint32(frame[:4], uint32(n))
 	if _, err := w.Write(frame); err != nil {
 		return fmt.Errorf("wire: write frame: %w", err)
 	}
 	return nil
 }
 
-// ReadFrame reads one length-prefixed frame and unmarshals it into v. The
-// payload is read into a pooled buffer; encoding/json copies everything it
-// stores into v, so the buffer can be reused by the next frame.
-func ReadFrame(r io.Reader, v any) error {
+// readPayload reads one v1 length-prefixed payload into a pooled buffer and
+// returns the buffer holder plus the payload length. The caller must hand
+// the holder back with putBuf once it is done with (*pb)[:n].
+func readPayload(r io.Reader) (pb *[]byte, n int, err error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if errors.Is(err, io.EOF) {
-			return io.EOF
+			return nil, 0, io.EOF
 		}
-		return fmt.Errorf("wire: read frame header: %w", err)
+		return nil, 0, fmt.Errorf("wire: read frame header: %w", err)
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrameSize {
-		return ErrFrameTooLarge
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > MaxFrameSize {
+		return nil, 0, frameTooLarge(uint64(size))
 	}
-	pb := decPool.Get().(*[]byte)
-	defer func() {
-		if cap(*pb) <= pooledLimit {
-			decPool.Put(pb)
-		}
-	}()
-	if cap(*pb) < int(n) {
-		*pb = make([]byte, n)
-	}
-	payload := (*pb)[:n]
+	pb = getBuf()
+	payload := sizeBuf(pb, int(size))
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return fmt.Errorf("wire: read frame payload: %w", err)
+		putBuf(pb)
+		return nil, 0, fmt.Errorf("wire: read frame payload: %w", err)
 	}
-	if err := json.Unmarshal(payload, v); err != nil {
+	return pb, int(size), nil
+}
+
+// ReadFrame reads one length-prefixed v1 frame and unmarshals it into v.
+// The payload is read into a pooled buffer; encoding/json copies everything
+// it stores into v, so the buffer can be reused by the next frame.
+func ReadFrame(r io.Reader, v any) error {
+	pb, n, err := readPayload(r)
+	if err != nil {
+		return err
+	}
+	defer putBuf(pb)
+	if err := json.Unmarshal((*pb)[:n], v); err != nil {
 		return fmt.Errorf("wire: unmarshal frame: %w", err)
 	}
 	return nil
