@@ -1,0 +1,59 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestRadFleetCampaign runs a small faulted campaign with -verify and
+// -per-tenant: it must report zero loss, matched digests, and one line per
+// tenant.
+func TestRadFleetCampaign(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-tenants", "6", "-requests", "30", "-seed", "42",
+		"-dlq", t.TempDir(), "-per-tenant", "-verify",
+	}, &out)
+	if err != nil {
+		t.Fatalf("campaign failed: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "6 tenants x 30 requests (seed 42, faults=true)") {
+		t.Fatalf("missing campaign header in:\n%s", text)
+	}
+	if !strings.Contains(text, "0 lost") {
+		t.Fatalf("campaign lost records:\n%s", text)
+	}
+	if !strings.Contains(text, "all 6 tenant digests byte-identical") {
+		t.Fatalf("verify line missing in:\n%s", text)
+	}
+	for _, id := range []string{"lab-0000", "lab-0005"} {
+		if !strings.Contains(text, id) {
+			t.Fatalf("per-tenant line for %s missing in:\n%s", id, text)
+		}
+	}
+	// The chaos profile must actually have exercised the failover path.
+	m := regexp.MustCompile(`dead letters: (\d+) records spilled`).FindStringSubmatch(text)
+	if m == nil || m[1] == "0" {
+		t.Fatalf("no dead-letter activity reported in:\n%s", text)
+	}
+}
+
+// TestRadFleetNoFaults runs the clean-path campaign (no DLQ, no chaos).
+func TestRadFleetNoFaults(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-tenants", "3", "-requests", "10", "-faults=false"}, &out); err != nil {
+		t.Fatalf("clean campaign failed: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "dead letters") {
+		t.Fatalf("clean campaign reported dead letters:\n%s", out.String())
+	}
+}
+
+func TestRadFleetBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-tenants", "not-a-number"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	radmiddlebox [-listen ADDR] [-store DIR] [-trace FILE.jsonl] [-csv FILE.csv] [-network lan|cloud|none] [-power] [-stream ADDR] [-proto auto|v1|v2]
+//	radmiddlebox [-listen ADDR] [-store DIR] [-trace FILE.jsonl] [-csv FILE.csv] [-network lan|cloud|none] [-power] [-stream ADDR] [-proto auto|v1|v2] [-fleet [-tenants N]]
 //
 // Stop with SIGINT/SIGTERM; traces are flushed on shutdown. A -store
 // directory survives crashes (torn tails are truncated on reopen) and is
@@ -18,6 +18,13 @@
 // -store set, new subscribers can replay the whole store before going live
 // (snapshot-then-follow). Per-subscriber delivery counters appear in the
 // shutdown summary.
+//
+// -fleet turns the listener multi-tenant: requests tagged with a tenant ID
+// route to lazily-instantiated independent labs (own devices, fault
+// wrappers, exec policies, per-tenant dead letters under -dlq, and their
+// own live broker with -stream), while untagged peers keep reaching the
+// default lab exactly as before. -tenants caps how many labs the process
+// will instantiate.
 package main
 
 import (
@@ -75,6 +82,8 @@ func run(args []string, stop <-chan struct{}) error {
 	breakerCooldown := fs.Duration("breaker-cooldown", 30*time.Second, "open-breaker cooldown before a half-open probe")
 	breakerProbes := fs.Int("breaker-probes", 1, "successful half-open probes required to close a breaker")
 	dlqDir := fs.String("dlq", "", "dead-letter directory: trace batches the sinks refuse spill here and re-ingest into -store on the next start ('' disables failover)")
+	fleetMode := fs.Bool("fleet", false, "serve a multi-tenant fleet: tenant-tagged requests route to lazily-instantiated per-tenant labs; untagged peers keep reaching the default lab unchanged")
+	maxTenants := fs.Int("tenants", rad.FleetDefaultMaxTenants, "labs one -fleet listener will instantiate before refusing new tenant IDs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -198,8 +207,88 @@ func run(args []string, stop <-chan struct{}) error {
 		monitor = power.NewMonitor(power.DefaultModel(), clock, *seed^0x5bf0)
 	}
 
+	// applyPolicy hardens a core with the exec-policy flags; it applies to
+	// the default lab below and to every lazily-built fleet tenant.
+	applyPolicy := func(c *rad.Middlebox) {
+		if *execTimeout > 0 || *execRetries > 0 || *breakerThreshold > 0 {
+			c.SetExecPolicy(rad.ExecPolicy{
+				Timeout:   *execTimeout,
+				Retries:   *execRetries,
+				RetrySeed: *seed,
+				Breaker: rad.BreakerConfig{
+					Threshold: *breakerThreshold,
+					Cooldown:  *breakerCooldown,
+					Probes:    *breakerProbes,
+				},
+			})
+		}
+	}
+
 	var broker *rad.Broker
 	var streamSrv *rad.StreamServer
+
+	// Fleet mode: the fully-configured lab built above becomes the default
+	// tenant (untagged peers see no change), and tenant-tagged requests
+	// lazily instantiate independent labs — own devices, fault wrappers,
+	// policies, per-tenant dead letters under -dlq, and their own live
+	// broker when -stream is set.
+	var handler rad.MiddleboxHandler = core
+	var fleetRouter *rad.FleetRouter
+	if *fleetMode {
+		fleetRouter, err = rad.NewFleetRouter(rad.FleetConfig{
+			MaxTenants: *maxTenants,
+			Registry:   reg,
+			Factory: func(id string) (*rad.FleetResources, error) {
+				if id == rad.FleetDefaultTenant {
+					return &rad.FleetResources{Core: core, Broker: broker, DB: tdb}, nil
+				}
+				tseed := rad.FleetTenantSeed(*seed, id)
+				mem := rad.NewTraceStore()
+				var sink rad.TraceSink = mem
+				res := &rad.FleetResources{}
+				if faults.SinkErrProb > 0 {
+					sink = rad.WrapFlakySink(sink, faults, tseed^9)
+				}
+				if *dlqDir != "" {
+					tdlq, err := rad.OpenTenantDLQ(*dlqDir, id)
+					if err != nil {
+						return nil, err
+					}
+					res.DLQ = tdlq
+					sink = rad.NewFailoverSink(sink, tdlq)
+				}
+				tcore := rad.NewMiddlebox(clock, sink)
+				if *streamAddr != "" {
+					b := rad.NewBroker()
+					tcore.AttachBroker(b)
+					res.Broker = b
+					res.Close = func() error { b.Close(); return nil }
+				}
+				tenantDevices := []rad.Device{
+					c9.New(device.NewEnv(clock, tseed+1)),
+					ur3e.New(device.NewEnv(clock, tseed+2), nil),
+					ika.New(device.NewEnv(clock, tseed+3)),
+					tecan.New(device.NewEnv(clock, tseed+4)),
+					quantos.New(device.NewEnv(clock, tseed+5)),
+				}
+				for i, d := range tenantDevices {
+					if faults.Active() {
+						d = rad.WrapFaultyDevice(d, clock, faults, tseed+10+uint64(i))
+					}
+					tcore.Register(d)
+				}
+				applyPolicy(tcore)
+				res.Core = tcore
+				return res, nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer fleetRouter.Close()
+		handler = fleetRouter
+	}
+
 	if *streamAddr != "" {
 		broker = rad.NewBroker()
 		if reg != nil {
@@ -212,6 +301,9 @@ func run(args []string, stop <-chan struct{}) error {
 		}
 		streamSrv = rad.NewStreamServer(broker, tdb)
 		streamSrv.SetProtocol(proto)
+		if fleetRouter != nil {
+			streamSrv.SetTenantResolver(fleetRouter.ResolveStream)
+		}
 		if reg != nil {
 			streamSrv.Observe(reg)
 		}
@@ -242,18 +334,7 @@ func run(args []string, stop <-chan struct{}) error {
 		}
 		core.Register(d)
 	}
-	if *execTimeout > 0 || *execRetries > 0 || *breakerThreshold > 0 {
-		core.SetExecPolicy(rad.ExecPolicy{
-			Timeout:   *execTimeout,
-			Retries:   *execRetries,
-			RetrySeed: *seed,
-			Breaker: rad.BreakerConfig{
-				Threshold: *breakerThreshold,
-				Cooldown:  *breakerCooldown,
-				Probes:    *breakerProbes,
-			},
-		})
-	}
+	applyPolicy(core)
 
 	var obsSrv *http.Server
 	if *obsAddr != "" {
@@ -270,7 +351,7 @@ func run(args []string, stop <-chan struct{}) error {
 		}
 	}
 
-	srv := rad.NewMiddleboxServer(core, profile, *seed+6)
+	srv := rad.NewMiddleboxHandlerServer(handler, profile, *seed+6)
 	srv.SetProtocol(proto)
 	if reg != nil {
 		srv.Observe(reg)
@@ -280,6 +361,9 @@ func run(args []string, stop <-chan struct{}) error {
 		return err
 	}
 	fmt.Printf("middlebox listening on %s (network=%s, power=%t, proto=%s)\n", addr, *network, *withPower, proto)
+	if fleetRouter != nil {
+		fmt.Printf("fleet mode: up to %d tenant labs\n", *maxTenants)
+	}
 	if faults.Active() {
 		fmt.Printf("fault injection active: %s\n", *faultSpec)
 	}
@@ -299,6 +383,15 @@ func run(args []string, stop <-chan struct{}) error {
 	stats := core.Snapshot()
 	fmt.Printf("\nshut down: %d execs, %d trace uploads, %d pings, %d errors; %d records logged\n",
 		stats.Execs, stats.Traces, stats.Pings, stats.Errors, mem.Len())
+	if fleetRouter != nil {
+		fst := fleetRouter.Snapshot()
+		fmt.Printf("fleet: %d tenant labs, %d requests routed, %d rejected\n",
+			fst.Tenants, fst.Routed, fst.Rejected)
+		for _, ts := range fst.PerTenant {
+			fmt.Printf("  %-24s routed %d, execs %d, errors %d\n",
+				ts.ID, ts.Requests, ts.Stats.Execs, ts.Stats.Errors)
+		}
+	}
 	res := stats.Resilience
 	if res.Timeouts+res.Retries+res.Shed+res.InfraErrors > 0 || len(res.Breakers) > 0 {
 		fmt.Printf("resilience: %d timeouts, %d retries, %d shed, %d infra errors\n",

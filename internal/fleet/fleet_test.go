@@ -1,0 +1,313 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rad/internal/device"
+	"rad/internal/device/c9"
+	"rad/internal/fault"
+	"rad/internal/middlebox"
+	"rad/internal/obs"
+	"rad/internal/simclock"
+	"rad/internal/store"
+	"rad/internal/wire"
+)
+
+// testFactory builds a minimal single-device lab for router tests.
+func testFactory(tb testing.TB) Factory {
+	tb.Helper()
+	return func(id string) (*Resources, error) {
+		clock := simclock.NewVirtual(time.Date(2021, 10, 1, 9, 0, 0, 0, time.UTC))
+		core := middlebox.NewCore(clock, store.NewMemStore())
+		core.Register(c9.New(device.NewEnv(clock, TenantSeed(7, id))))
+		return &Resources{Core: core}, nil
+	}
+}
+
+func execReq(id uint64, tenant string) wire.Request {
+	return wire.Request{ID: id, Op: wire.OpExec, Tenant: tenant, Device: "C9", Name: device.Init}
+}
+
+func TestFleetRouterRouting(t *testing.T) {
+	r, err := NewRouter(Config{Factory: testFactory(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An untagged request lands on the default tenant.
+	if rep := r.Handle(execReq(1, "")); rep.Error != "" {
+		t.Fatalf("default tenant: %s", rep.Error)
+	}
+	if _, ok := r.Lookup(DefaultTenant); !ok {
+		t.Fatal("default tenant not instantiated")
+	}
+
+	// Tagged requests land on their own labs.
+	for i := 0; i < 3; i++ {
+		id := TenantID(i)
+		for j := 0; j < i+1; j++ {
+			if rep := r.Handle(execReq(1, id)); rep.Error != "" {
+				t.Fatalf("%s: %s", id, rep.Error)
+			}
+		}
+	}
+	st := r.Snapshot()
+	if st.Tenants != 4 {
+		t.Fatalf("tenants = %d, want 4", st.Tenants)
+	}
+	if st.Routed != 1+1+2+3 {
+		t.Fatalf("routed = %d, want 7", st.Routed)
+	}
+	var sum uint64
+	for _, ts := range st.PerTenant {
+		sum += ts.Requests
+		if ts.Stats.Execs != ts.Requests {
+			t.Fatalf("%s: execs %d != routed %d", ts.ID, ts.Stats.Execs, ts.Requests)
+		}
+	}
+	if sum != st.Routed {
+		t.Fatalf("per-tenant sum %d != routed %d", sum, st.Routed)
+	}
+
+	// A hostile tenant ID is rejected before any lab is touched.
+	for _, bad := range []string{"../escape", "a/b", strings.Repeat("x", 65), "..", "läb"} {
+		rep := r.Handle(execReq(9, bad))
+		if rep.Error == "" {
+			t.Fatalf("tenant %q accepted", bad)
+		}
+	}
+	if got := r.Snapshot().Rejected; got != 5 {
+		t.Fatalf("rejected = %d, want 5", got)
+	}
+}
+
+func TestFleetRouterTenantCap(t *testing.T) {
+	r, err := NewRouter(Config{Factory: testFactory(t), MaxTenants: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := r.Handle(execReq(1, "a")); rep.Error != "" {
+		t.Fatal(rep.Error)
+	}
+	if rep := r.Handle(execReq(1, "b")); rep.Error != "" {
+		t.Fatal(rep.Error)
+	}
+	if rep := r.Handle(execReq(1, "c")); rep.Error == "" {
+		t.Fatal("third tenant admitted past MaxTenants=2")
+	}
+	// Existing tenants keep serving at the cap.
+	if rep := r.Handle(execReq(2, "a")); rep.Error != "" {
+		t.Fatal(rep.Error)
+	}
+}
+
+func TestFleetRouterFactoryFailureSticky(t *testing.T) {
+	boom := errors.New("no lab for you")
+	calls := 0
+	r, err := NewRouter(Config{Factory: func(id string) (*Resources, error) {
+		calls++
+		return nil, boom
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if rep := r.Handle(execReq(1, "broken")); !strings.Contains(rep.Error, boom.Error()) {
+			t.Fatalf("reply error = %q", rep.Error)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("factory ran %d times for a failing tenant, want 1", calls)
+	}
+	if got := r.Snapshot().Tenants; got != 0 {
+		t.Fatalf("failed tenant counted as instantiated: %d", got)
+	}
+}
+
+// TestFleetRouterConcurrentCreate hammers one cold tenant ID from many
+// goroutines: exactly one lab must be built, every request served by it.
+func TestFleetRouterConcurrentCreate(t *testing.T) {
+	var built sync.Map
+	var builds int32
+	var mu sync.Mutex
+	r, err := NewRouter(Config{Factory: func(id string) (*Resources, error) {
+		mu.Lock()
+		builds++
+		mu.Unlock()
+		res, err := testFactory(t)(id)
+		if err == nil {
+			built.Store(id, res.Core)
+		}
+		return res, err
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if rep := r.Handle(execReq(uint64(i), "shared")); rep.Error != "" {
+					t.Error(rep.Error)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if builds != 1 {
+		t.Fatalf("factory ran %d times for one tenant", builds)
+	}
+	st := r.Snapshot()
+	if st.Routed != workers*50 {
+		t.Fatalf("routed = %d, want %d", st.Routed, workers*50)
+	}
+}
+
+// TestFleetObsRollups checks the fleet metrics render with per-tenant
+// labels without disturbing routing.
+func TestFleetObsRollups(t *testing.T) {
+	reg := obs.NewRegistry()
+	dlqRoot := t.TempDir()
+	r, err := NewRouter(Config{Registry: reg, Factory: func(id string) (*Resources, error) {
+		res, err := testFactory(t)(id)
+		if err != nil {
+			return nil, err
+		}
+		dlq, err := store.OpenTenantDLQ(dlqRoot, id)
+		if err != nil {
+			return nil, err
+		}
+		res.DLQ = dlq
+		return res, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if rep := r.Handle(execReq(1, TenantID(i))); rep.Error != "" {
+			t.Fatal(rep.Error)
+		}
+	}
+	if err := r.Handle(execReq(1, TenantID(0))); err.Error != "" {
+		t.Fatal(err.Error)
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"rad_fleet_tenants 3",
+		"rad_fleet_routed_total 4",
+		`rad_fleet_tenant_requests_total{tenant="lab-0000"} 2`,
+		`rad_store_drained_records_total{tenant="lab-0001"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestFleetSnapshotWhileServing aggregates fleet snapshots concurrently
+// with live traffic across many tenants — the "without stopping the world"
+// guarantee, checked under -race.
+func TestFleetSnapshotWhileServing(t *testing.T) {
+	r, err := NewRouter(Config{Factory: testFactory(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tenants, perTenant = 32, 200
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for j := 0; j < perTenant; j++ {
+				if rep := r.Handle(execReq(uint64(j), id)); rep.Error != "" {
+					t.Error(rep.Error)
+					return
+				}
+			}
+		}(TenantID(i))
+	}
+	go func() { wg.Wait(); close(done) }()
+	var last Stats
+	for serving := true; serving; {
+		select {
+		case <-done:
+			serving = false
+		default:
+		}
+		st := r.Snapshot()
+		if st.Routed < last.Routed || st.Tenants < last.Tenants {
+			t.Fatalf("snapshot went backwards: %+v after %+v", st, last)
+		}
+		last = st
+	}
+	st := r.Snapshot()
+	if st.Tenants != tenants {
+		t.Fatalf("tenants = %d, want %d", st.Tenants, tenants)
+	}
+	if st.Routed != tenants*perTenant {
+		t.Fatalf("routed = %d, want %d", st.Routed, tenants*perTenant)
+	}
+}
+
+// fleetBenchRouter builds a router whose tenants mirror the single-tenant
+// BenchmarkExecObserved rig: C9 on a virtual clock, no sink, hardened
+// policy.
+func fleetBenchRouter(tb testing.TB) *Router {
+	tb.Helper()
+	r, err := NewRouter(Config{Factory: func(id string) (*Resources, error) {
+		clock := simclock.NewVirtual(time.Date(2021, 10, 1, 9, 0, 0, 0, time.UTC))
+		core := middlebox.NewCore(clock, nil)
+		core.Register(c9.New(device.NewEnv(clock, 1)))
+		core.SetExecPolicy(middlebox.ExecPolicy{
+			Timeout: 20 * time.Second,
+			Retries: 2,
+			Breaker: fault.BreakerConfig{Threshold: 3, Cooldown: 2 * time.Minute},
+		})
+		return &Resources{Core: core}, nil
+	}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkFleetExec prices the router on the exec hot path at increasing
+// tenant counts, round-robining requests across the fleet. The acceptance
+// bound (EXPERIMENTS.md) is per-exec cost within 2x of the single-tenant
+// BenchmarkExecObserved baseline at 100 tenants.
+func BenchmarkFleetExec(b *testing.B) {
+	for _, tenants := range []int{1, 16, 100} {
+		b.Run(fmt.Sprintf("tenants=%d", tenants), func(b *testing.B) {
+			r := fleetBenchRouter(b)
+			ids := make([]string, tenants)
+			for i := range ids {
+				ids[i] = TenantID(i)
+				if rep := r.Handle(execReq(1, ids[i])); rep.Error != "" {
+					b.Fatalf("init %s: %s", ids[i], rep.Error)
+				}
+			}
+			req := wire.Request{ID: 2, Op: wire.OpExec, Device: "C9", Name: "MVNG"}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req.Tenant = ids[i%tenants]
+				if rep := r.Handle(req); rep.Error != "" {
+					b.Fatal(rep.Error)
+				}
+			}
+		})
+	}
+}

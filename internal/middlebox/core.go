@@ -77,8 +77,15 @@ type Core struct {
 	// without taking any lock.
 	sink store.Sink
 
-	mu      sync.RWMutex
-	entries map[string]*deviceEntry
+	// cfgMu serializes the configuration phase (Register / SetExecPolicy /
+	// Observe — all documented call-before-serving). The device registry
+	// itself is a copy-on-write map behind an atomic pointer: writers
+	// clone-and-publish under cfgMu, while the exec hot path, Snapshot, and
+	// the obs render callbacks read it with one atomic load and no lock —
+	// so fleet-wide aggregation across hundreds of tenant Cores never
+	// serializes any of them (ISSUE 7 satellite).
+	cfgMu   sync.Mutex
+	entries atomic.Pointer[map[string]*deviceEntry]
 	// obsReg, when set by Observe, receives every metric the middlebox
 	// exports; per-device histograms live in the entries.
 	obsReg *obs.Registry
@@ -136,9 +143,30 @@ type Stats struct {
 }
 
 // NewCore builds a middlebox core logging to sink (which may be nil to
-// disable logging, e.g. in pure latency benchmarks).
+// disable logging, e.g. in pure latency benchmarks). A Core is cheap enough
+// to instantiate per tenant: the command catalogs are shared process-wide
+// and the wire buffers are pooled, so per-tenant cost is the device
+// registry and the counters.
 func NewCore(clock simclock.Clock, sink store.Sink) *Core {
-	return &Core{clock: clock, entries: make(map[string]*deviceEntry), sink: sink}
+	c := &Core{clock: clock, sink: sink}
+	m := make(map[string]*deviceEntry)
+	c.entries.Store(&m)
+	return c
+}
+
+// table returns the current device registry: one atomic load, no lock.
+func (c *Core) table() map[string]*deviceEntry { return *c.entries.Load() }
+
+// publishEntry clones the registry with name→e added and publishes the new
+// map. Caller holds cfgMu.
+func (c *Core) publishEntry(name string, e *deviceEntry) {
+	old := c.table()
+	next := make(map[string]*deviceEntry, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = e
+	c.entries.Store(&next)
 }
 
 // AttachBroker connects a live-stream broker to the middlebox. When the trace
@@ -159,23 +187,23 @@ func (c *Core) AttachBroker(b *stream.Broker) {
 // name already in use replaces the previous registration (and resets its
 // circuit breaker when one is configured).
 func (c *Core) Register(d device.Device) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.cfgMu.Lock()
+	defer c.cfgMu.Unlock()
 	e := &deviceEntry{dev: d}
 	if c.hardened {
 		e.breaker = fault.NewBreaker(d.Name(), c.clock, c.policy.Breaker)
 	}
-	c.entries[d.Name()] = e
 	if c.obsReg != nil {
 		c.observeDeviceLocked(d.Name(), e)
 	}
+	// The entry is built completely before the map carrying it is published,
+	// so lock-free readers only ever see finished entries.
+	c.publishEntry(d.Name(), e)
 }
 
 // Device returns the registered device with the given name, if any.
 func (c *Core) Device(name string) (device.Device, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	e, ok := c.entries[name]
+	e, ok := c.table()[name]
 	if !ok {
 		return nil, false
 	}
@@ -183,9 +211,12 @@ func (c *Core) Device(name string) (device.Device, bool) {
 }
 
 // Snapshot returns a consistent point-in-time copy of the request counters
-// without touching the device-registry lock. Each counter is itself exact;
-// a request that completes concurrently with Snapshot may or may not be
-// included, but no counter ever goes backwards between snapshots.
+// without taking any lock — the registry walk behind Resilience reads the
+// copy-on-write device table with one atomic load. Each counter is itself
+// exact; a request that completes concurrently with Snapshot may or may not
+// be included, but no counter ever goes backwards between snapshots. A
+// fleet aggregating Snapshot across hundreds of tenants therefore never
+// stops, or even slows, any of them.
 func (c *Core) Snapshot() Stats {
 	return Stats{
 		Execs:       c.execs.Load(),

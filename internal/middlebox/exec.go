@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sort"
+	"sync"
 	"time"
 
 	"rad/internal/device"
@@ -48,8 +49,8 @@ type ExecPolicy struct {
 // traffic: it rebuilds the per-device breakers and is not synchronized
 // with in-flight execs.
 func (c *Core) SetExecPolicy(p ExecPolicy) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.cfgMu.Lock()
+	defer c.cfgMu.Unlock()
 	if p.RetryBase <= 0 {
 		p.RetryBase = 50 * time.Millisecond
 	}
@@ -66,15 +67,27 @@ func (c *Core) SetExecPolicy(p ExecPolicy) {
 	c.realDeadline = !c.virtual && p.Timeout > 0
 	c.retryRng = rand.New(rand.NewPCG(seed, seed^0xbf58476d1ce4e5b9))
 	if c.hardened && c.idempotent == nil {
-		c.idempotent = idempotentCatalog()
+		c.idempotent = sharedIdempotent()
 	}
-	for name, e := range c.entries {
-		e.breaker = nil
+	// Rebuild the registry copy-on-write: entries are immutable once
+	// published, so the breaker swap constructs fresh entries rather than
+	// mutating ones a lock-free reader may hold.
+	old := c.table()
+	next := make(map[string]*deviceEntry, len(old))
+	for name, e := range old {
+		ne := &deviceEntry{dev: e.dev, hist: e.hist, histOther: e.histOther}
 		if c.hardened {
-			e.breaker = fault.NewBreaker(name, c.clock, p.Breaker)
+			ne.breaker = fault.NewBreaker(name, c.clock, p.Breaker)
 		}
+		next[name] = ne
 	}
+	c.entries.Store(&next)
 }
+
+// sharedIdempotent builds the "Device.Name" → idempotent catalog once per
+// process and shares the (read-only) map across every Core — a fleet of
+// hundreds of tenant Cores pays for one copy, not N.
+var sharedIdempotent = sync.OnceValue(idempotentCatalog)
 
 // idempotentCatalog maps "Device.Name" to true for the catalog's
 // non-mutating (read-only) command types — the ones safe to re-issue when
@@ -89,12 +102,10 @@ func idempotentCatalog() map[string]bool {
 	return m
 }
 
-// lookup resolves a device's entry — device, breaker, histograms — under
-// one registry read lock and one map access.
+// lookup resolves a device's entry — device, breaker, histograms — with one
+// atomic load and one map access; no lock.
 func (c *Core) lookup(name string) (*deviceEntry, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	e, ok := c.entries[name]
+	e, ok := c.table()[name]
 	return e, ok
 }
 
@@ -208,7 +219,8 @@ type Resilience struct {
 }
 
 // resilience snapshots the counters and the breakers (sorted by device so
-// snapshots are stable).
+// snapshots are stable). Lock-free: the registry walk reads the
+// copy-on-write table.
 func (c *Core) resilience() Resilience {
 	r := Resilience{
 		Timeouts:    c.timeouts.Load(),
@@ -216,13 +228,11 @@ func (c *Core) resilience() Resilience {
 		Shed:        c.shed.Load(),
 		InfraErrors: c.infraErrs.Load(),
 	}
-	c.mu.RLock()
-	for _, e := range c.entries {
+	for _, e := range c.table() {
 		if e.breaker != nil {
 			r.Breakers = append(r.Breakers, e.breaker.Stats())
 		}
 	}
-	c.mu.RUnlock()
 	sort.Slice(r.Breakers, func(i, j int) bool { return r.Breakers[i].Device < r.Breakers[j].Device })
 	return r
 }

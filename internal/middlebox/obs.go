@@ -17,8 +17,8 @@ import (
 // the injected clock — a virtual-clock campaign renders deterministic
 // histograms, a real-clock server measures wall time.
 func (c *Core) Observe(reg *obs.Registry) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.cfgMu.Lock()
+	defer c.cfgMu.Unlock()
 	c.obsReg = reg
 
 	reg.SetHelp("rad_middlebox_requests_total", "Requests served, by middlebox protocol op.")
@@ -40,7 +40,7 @@ func (c *Core) Observe(reg *obs.Registry) {
 	// come after Observe).
 	reg.CounterFunc("rad_middlebox_stream_published_total", func() uint64 { return c.broker.Published() })
 
-	for name, e := range c.entries {
+	for name, e := range c.table() {
 		c.observeDeviceLocked(name, e)
 	}
 }
@@ -50,7 +50,8 @@ func (c *Core) Observe(reg *obs.Registry) {
 // and its breaker observability. The breaker metrics resolve the breaker
 // at render time, so SetExecPolicy rebuilding the breakers — or Register
 // replacing a device — never leaves them pointing at a stale one. Caller
-// holds c.mu.
+// holds c.cfgMu; e is not yet published (Register) or published before any
+// traffic (Observe's call-before-serving contract).
 func (c *Core) observeDeviceLocked(name string, e *deviceEntry) {
 	reg := c.obsReg
 	hist := make(map[string]*obs.Histogram)
@@ -79,10 +80,9 @@ func (c *Core) observeDeviceLocked(name string, e *deviceEntry) {
 
 // breakerFor resolves a device's current breaker; nil (which reads as a
 // permanently closed breaker) when the device is unknown or not hardened.
+// Lock-free, so a fleet-wide metrics render never serializes tenants.
 func (c *Core) breakerFor(name string) *fault.Breaker {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if e := c.entries[name]; e != nil {
+	if e := c.table()[name]; e != nil {
 		return e.breaker
 	}
 	return nil

@@ -66,15 +66,22 @@ func (p NetworkProfile) Delay(rng *rand.Rand) time.Duration {
 	return d
 }
 
-// Server exposes a Core over TCP using the wire protocol. One goroutine per
-// connection; requests on a connection are served in order.
+// Handler processes one middlebox request into its reply. Core implements
+// it for a single lab; fleet.Router implements it by routing on the
+// request's Tenant field — either serves behind the same Server.
+type Handler interface {
+	Handle(wire.Request) wire.Reply
+}
+
+// Server exposes a Handler over TCP using the wire protocol. One goroutine
+// per connection; requests on a connection are served in order.
 //
 // Each connection's protocol version is negotiated on accept (wire.Accept):
 // by default the listener serves v1 JSON clients and v2 binary clients side
 // by side, distinguished by the connection preamble. SetProtocol pins the
 // listener to one version instead.
 type Server struct {
-	core    *Core
+	core    Handler
 	profile NetworkProfile
 	proto   wire.Proto
 	wireM   *wire.Metrics
@@ -90,8 +97,15 @@ type Server struct {
 
 // NewServer wraps core with the given emulated network profile.
 func NewServer(core *Core, profile NetworkProfile, seed uint64) *Server {
+	return NewHandlerServer(core, profile, seed)
+}
+
+// NewHandlerServer wraps any Handler — a single-tenant Core or a
+// fleet.Router multiplexing hundreds of them — with the given emulated
+// network profile.
+func NewHandlerServer(h Handler, profile NetworkProfile, seed uint64) *Server {
 	return &Server{
-		core:    core,
+		core:    h,
 		profile: profile,
 		conns:   make(map[net.Conn]struct{}),
 		rng:     rand.New(rand.NewPCG(seed, seed^0xa0761d6478bd642f)),

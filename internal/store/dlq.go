@@ -25,6 +25,13 @@ type DeadLetterQueue struct {
 
 	spilledBatches atomic.Uint64
 	spilledRecords atomic.Uint64
+
+	// Drain/Reingest outcome accounting: recoveries were invisible in the
+	// metrics while spills were counted, so a fleet operator could see
+	// records leave the primary but never see them come back.
+	drainedBatches atomic.Uint64
+	drainedRecords atomic.Uint64
+	drainErrors    atomic.Uint64
 }
 
 const (
@@ -146,41 +153,89 @@ func (q *DeadLetterQueue) Drain(fn func(recs []Record) error) (int, error) {
 	defer q.mu.Unlock()
 	files, err := q.Pending()
 	if err != nil {
+		q.drainErrors.Add(1)
 		return 0, err
 	}
 	total := 0
 	for _, path := range files {
 		f, err := os.Open(path)
 		if err != nil {
+			q.drainErrors.Add(1)
 			return total, fmt.Errorf("dlq: drain %s: %w", path, err)
 		}
 		recs, err := ReadJSONL(f)
 		_ = f.Close()
 		if err != nil {
+			q.drainErrors.Add(1)
 			return total, fmt.Errorf("dlq: drain %s: %w", path, err)
 		}
 		if err := fn(recs); err != nil {
+			q.drainErrors.Add(1)
 			return total, fmt.Errorf("dlq: drain %s: %w", path, err)
 		}
 		if err := os.Remove(path); err != nil {
+			q.drainErrors.Add(1)
 			return total, fmt.Errorf("dlq: drain %s: %w", path, err)
 		}
 		total += len(recs)
+		q.drainedBatches.Add(1)
+		q.drainedRecords.Add(uint64(len(recs)))
 	}
 	return total, nil
 }
 
-// DLQStats counts what the queue has absorbed since it was opened.
+// DLQStats counts what the queue has absorbed — and given back — since it
+// was opened.
 type DLQStats struct {
 	SpilledBatches uint64
 	SpilledRecords uint64
+	// Recoveries: spill files successfully re-ingested by Drain (which also
+	// backs tracedb.Reingest), and drain attempts that failed partway.
+	DrainedBatches uint64
+	DrainedRecords uint64
+	DrainErrors    uint64
 }
 
-// Stats snapshots the spill counters (this process's spills only; pending
-// files from an earlier run are visible through Pending, not here).
+// Stats snapshots the spill and drain counters (this process's activity
+// only; pending files from an earlier run are visible through Pending, not
+// here).
 func (q *DeadLetterQueue) Stats() DLQStats {
 	return DLQStats{
 		SpilledBatches: q.spilledBatches.Load(),
 		SpilledRecords: q.spilledRecords.Load(),
+		DrainedBatches: q.drainedBatches.Load(),
+		DrainedRecords: q.drainedRecords.Load(),
+		DrainErrors:    q.drainErrors.Load(),
 	}
+}
+
+// ValidTenantID reports whether id is usable as a tenant namespace: 1–64
+// bytes of [A-Za-z0-9._-], with "." and ".." rejected. The alphabet is
+// path-safe by construction (no separators, no traversal), so a tenant ID
+// arriving off the wire can name a DLQ subdirectory without sanitization.
+func ValidTenantID(id string) bool {
+	if len(id) == 0 || len(id) > 64 || id == "." || id == ".." {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// OpenTenantDLQ opens tenant's dead-letter directory under root
+// (root/tenants/<id>), validating the ID so a wire-supplied tenant can
+// never escape the root. Every tenant spills into its own namespace;
+// draining one tenant never touches another's dead letters.
+func OpenTenantDLQ(root, tenant string) (*DeadLetterQueue, error) {
+	if !ValidTenantID(tenant) {
+		return nil, fmt.Errorf("dlq: invalid tenant id %q", tenant)
+	}
+	return OpenDLQ(filepath.Join(root, "tenants", tenant))
 }

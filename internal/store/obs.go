@@ -23,4 +23,18 @@ func (s *FailoverSink) Observe(reg *obs.Registry) {
 	reg.CounterFunc("rad_store_spilled_records_total", func() uint64 {
 		return s.dlq.Stats().SpilledRecords
 	})
+	s.dlq.Observe(reg)
+}
+
+// Observe registers the queue's drain/reingest outcome counters into reg —
+// the recovery half of the spill accounting above, so an operator sees
+// records both leave the primary and come back. Pass extra label pairs
+// (e.g. "tenant", id) to scope the counters in a fleet.
+func (q *DeadLetterQueue) Observe(reg *obs.Registry, labels ...string) {
+	reg.SetHelp("rad_store_drained_batches_total", "Spill files re-ingested from the dead-letter queue.")
+	reg.CounterFunc("rad_store_drained_batches_total", q.drainedBatches.Load, labels...)
+	reg.SetHelp("rad_store_drained_records_total", "Records re-ingested from the dead-letter queue.")
+	reg.CounterFunc("rad_store_drained_records_total", q.drainedRecords.Load, labels...)
+	reg.SetHelp("rad_store_drain_errors_total", "Dead-letter drain attempts that failed partway.")
+	reg.CounterFunc("rad_store_drain_errors_total", q.drainErrors.Load, labels...)
 }

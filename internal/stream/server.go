@@ -23,10 +23,11 @@ import (
 // connection's protocol version on accept: v1 JSON tailers and v2 binary
 // tailers share the listener, distinguished by the connection preamble.
 type Server struct {
-	broker *Broker
-	db     *tracedb.DB // snapshot source; nil disables snapshot-then-follow
-	proto  wire.Proto
-	wireM  *wire.Metrics
+	broker   *Broker
+	db       *tracedb.DB // snapshot source; nil disables snapshot-then-follow
+	proto    wire.Proto
+	wireM    *wire.Metrics
+	resolver TenantResolver // nil: single-tenant listener
 
 	mu sync.Mutex
 	ln net.Listener
@@ -57,6 +58,18 @@ func (s *Server) SetProtocol(p wire.Proto) { s.proto = p }
 // Observe registers per-protocol wire metrics in reg (shared with any
 // other listener observing the same registry). Call before Start.
 func (s *Server) Observe(reg *obs.Registry) { s.wireM = wire.NewMetrics(reg) }
+
+// TenantResolver maps a tenant-tagged Subscribe frame to that tenant's
+// broker and snapshot store (db may be nil: snapshot-then-follow disabled
+// for that tenant). Returning an error rejects the subscription with a
+// precise EventError instead of silently serving the wrong lab's feed.
+type TenantResolver func(tenant string) (*Broker, *tracedb.DB, error)
+
+// SetTenantResolver makes the tail listener fleet-aware: subscriptions
+// carrying a tenant ID are routed through r to their own lab's broker,
+// while untagged subscriptions keep flowing to the server's default
+// broker — a pre-fleet tailer needs no change. Call before Start.
+func (s *Server) SetTenantResolver(r TenantResolver) { s.resolver = r }
 
 // Start listens on addr (e.g. "127.0.0.1:0") and serves in the background,
 // returning the bound address.
@@ -127,7 +140,22 @@ func (s *Server) serveConn(conn net.Conn) {
 		_ = wc.WriteFrame(wire.Event{Kind: wire.EventError, Error: err.Error()})
 		return
 	}
-	if req.Snapshot && s.db == nil {
+	broker, db := s.broker, s.db
+	if req.Tenant != "" {
+		if s.resolver == nil {
+			_ = wc.WriteFrame(wire.Event{Kind: wire.EventError,
+				Error: fmt.Sprintf("stream: tenant %q requested but this listener is single-tenant", req.Tenant)})
+			return
+		}
+		var err error
+		broker, db, err = s.resolver(req.Tenant)
+		if err != nil {
+			_ = wc.WriteFrame(wire.Event{Kind: wire.EventError,
+				Error: fmt.Sprintf("stream: tenant %q: %v", req.Tenant, err)})
+			return
+		}
+	}
+	if req.Snapshot && db == nil {
 		_ = wc.WriteFrame(wire.Event{Kind: wire.EventError,
 			Error: "stream: snapshot requested but the middlebox has no persistent store"})
 		return
@@ -135,10 +163,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	opts := subOptions(req, conn)
 
 	if req.Snapshot {
-		s.serveTail(conn, wc, opts)
+		s.serveTail(conn, wc, broker, db, opts)
 		return
 	}
-	sub := s.broker.Subscribe(opts)
+	sub := broker.Subscribe(opts)
 	if !s.track(conn, sub) {
 		sub.Close()
 		return
@@ -166,9 +194,10 @@ func (s *Server) watchConn(conn net.Conn, sub *Subscriber) {
 }
 
 // serveTail runs the snapshot-then-follow protocol: history, the
-// snapshot-end marker, then the live feed.
-func (s *Server) serveTail(conn net.Conn, wc *wire.Conn, opts SubOptions) {
-	tail := s.broker.Tail(s.db, opts)
+// snapshot-end marker, then the live feed — against the resolved tenant's
+// broker and store.
+func (s *Server) serveTail(conn net.Conn, wc *wire.Conn, broker *Broker, db *tracedb.DB, opts SubOptions) {
+	tail := broker.Tail(db, opts)
 	if !s.track(conn, tail.Subscriber()) {
 		tail.Close()
 		return

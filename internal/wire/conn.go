@@ -130,6 +130,12 @@ type Conn struct {
 	br      *bufio.Reader
 	version Version
 	m       *Metrics
+
+	// vocab is this connection's learned-word intern table (tenant IDs and
+	// other open-vocabulary strings that repeat across frames). It is only
+	// touched from the read path, which is single-threaded per direction, so
+	// it needs no lock; its growth is bounded by MaxConnVocab.
+	vocab connVocab
 }
 
 // NewConn wraps rw speaking the given version directly, with no handshake
@@ -292,7 +298,7 @@ func (c *Conn) readV2(v any) error {
 		return fmt.Errorf("wire: read frame payload: %w", err)
 	}
 	start := c.stamp()
-	if err := decodeBinaryFrame(payload, v); err != nil {
+	if err := decodeBinaryFrameVocab(payload, v, &c.vocab); err != nil {
 		return err
 	}
 	c.observeRead(start)

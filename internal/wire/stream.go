@@ -57,6 +57,10 @@ type Subscribe struct {
 	// Buffer is the per-subscriber ring capacity (server-clamped).
 	Policy string `json:"policy,omitempty"`
 	Buffer int    `json:"buffer,omitempty"`
+
+	// Tenant addresses one lab instance behind a fleet listener; empty means
+	// the listener's default tenant (see wire.Request.Tenant).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Validate reports whether the frame is a well-formed subscription.

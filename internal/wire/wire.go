@@ -70,6 +70,13 @@ type Request struct {
 	Name   string   `json:"name,omitempty"`
 	Args   []string `json:"args,omitempty"`
 
+	// Tenant addresses one lab instance behind a fleet listener
+	// (internal/fleet). Empty — the zero value — means the listener's
+	// default tenant, so a single-tenant v1 or v2 peer that has never heard
+	// of tenancy keeps working unchanged: the field is omitted from the
+	// frame entirely when empty, in both encodings.
+	Tenant string `json:"tenant,omitempty"`
+
 	// DIRECT-mode trace uploads carry the locally observed outcome.
 	Value      string `json:"value,omitempty"`
 	Error      string `json:"error,omitempty"`

@@ -11,6 +11,7 @@ import (
 	"rad/internal/device"
 	"rad/internal/experiments"
 	"rad/internal/fault"
+	"rad/internal/fleet"
 	"rad/internal/ids"
 	"rad/internal/middlebox"
 	"rad/internal/obs"
@@ -87,6 +88,14 @@ func NewMiddlebox(clock Clock, sink TraceSink) *Middlebox {
 // network profile.
 var NewMiddleboxServer = middlebox.NewServer
 
+// MiddleboxHandler answers wire requests; both a single-tenant Middlebox and
+// a FleetRouter implement it, so one TCP server serves either.
+type MiddleboxHandler = middlebox.Handler
+
+// NewMiddleboxHandlerServer is NewMiddleboxServer for any MiddleboxHandler
+// (a fleet router, a test fake) instead of a concrete core.
+var NewMiddleboxHandlerServer = middlebox.NewHandlerServer
+
 // LANProfile models the lab's switched Ethernet; CloudProfile models the
 // Azure WAN replay of Fig. 4's footnote.
 var (
@@ -158,6 +167,70 @@ type FailoverSink = store.FailoverSink
 
 // NewFailoverSink wraps a primary sink with dead-letter failover.
 var NewFailoverSink = store.NewFailoverSink
+
+// OpenTenantDLQ opens a tenant's dead-letter directory namespaced under a
+// shared root (root/tenants/<id>); ValidTenantID is the path-safe tenant
+// alphabet every fleet entry point enforces.
+var (
+	OpenTenantDLQ = store.OpenTenantDLQ
+	ValidTenantID = store.ValidTenantID
+)
+
+// --- Fleet mode (internal/fleet) ---
+
+// FleetRouter multiplexes many independent lab middleboxes — each with its
+// own devices, policies, breakers, and broker — behind one wire listener,
+// resolving each request's tenant ID through a striped-lock table to a
+// lazily-instantiated Middlebox.
+type FleetRouter = fleet.Router
+
+// FleetConfig parameterizes a router; FleetResources is everything one
+// tenant lab owns; FleetTenant is one instantiated lab.
+type (
+	FleetConfig    = fleet.Config
+	FleetResources = fleet.Resources
+	FleetTenant    = fleet.Tenant
+)
+
+// FleetStats is a point-in-time fleet snapshot; FleetTenantStats is one
+// lab's slice of it.
+type (
+	FleetStats       = fleet.Stats
+	FleetTenantStats = fleet.TenantStats
+)
+
+// NewFleetRouter builds a fleet router.
+var NewFleetRouter = fleet.NewRouter
+
+// FleetDefaultTenant is the lab untagged (pre-fleet) requests reach;
+// FleetDefaultMaxTenants bounds lazy tenant instantiation.
+const (
+	FleetDefaultTenant     = fleet.DefaultTenant
+	FleetDefaultMaxTenants = fleet.DefaultMaxTenants
+)
+
+// FleetCampaign drives hundreds of concurrent tenant workloads through one
+// router, each lab on its own virtual clock with a seed derived purely from
+// (campaign seed, tenant ID) — byte-reproducible under any interleaving.
+type FleetCampaign = fleet.Campaign
+
+// FleetCampaignConfig parameterizes a campaign; FleetCampaignResult and
+// FleetTenantResult are its fleet-wide and per-lab outcomes.
+type (
+	FleetCampaignConfig = fleet.CampaignConfig
+	FleetCampaignResult = fleet.CampaignResult
+	FleetTenantResult   = fleet.TenantResult
+)
+
+// NewFleetCampaign builds a campaign and its router.
+var NewFleetCampaign = fleet.NewCampaign
+
+// FleetTenantID names the i-th campaign lab; FleetTenantSeed derives a
+// lab's deterministic seed from the campaign seed and its ID alone.
+var (
+	FleetTenantID   = fleet.TenantID
+	FleetTenantSeed = fleet.TenantSeed
+)
 
 // TracingSession is the lab-computer side of RATracer: it hands out
 // virtualized devices and owns the middlebox transport.
