@@ -40,6 +40,7 @@ func run(args []string) error {
 	format := fs.String("format", "both", "command-dataset format: csv, jsonl, or both")
 	storeDir := fs.String("store", "", "also ingest the campaign into this tracedb directory")
 	dlqDir := fs.String("dlq", "", "dead-letter directory to re-ingest into -store (spills from a crashed or fault-injected middlebox)")
+	compact := fs.Bool("compact", false, "compact the -store after ingest: merge small flush blocks into dense segments with tight indexes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,13 +72,17 @@ func run(args []string) error {
 		}
 	}
 	if *storeDir != "" {
-		reingested, err := writeTraceDB(*storeDir, *dlqDir, records)
+		reingested, cs, err := writeTraceDB(*storeDir, *dlqDir, records, *compact)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("ingested %d trace objects into tracedb at %s\n", len(records), *storeDir)
 		if *dlqDir != "" {
 			fmt.Printf("re-ingested %d dead-lettered records from %s\n", reingested, *dlqDir)
+		}
+		if *compact {
+			fmt.Printf("compacted: %d segments -> %d, %d blocks -> %d, %d bytes -> %d\n",
+				cs.SegmentsIn, cs.SegmentsOut, cs.BlocksIn, cs.BlocksOut, cs.BytesIn, cs.BytesOut)
 		}
 	}
 	if err := writeRunIndex(filepath.Join(*out, "runs.csv"), ds.Runs); err != nil {
@@ -104,37 +109,44 @@ func run(args []string) error {
 // the Batcher flush boundary, so each flush lands as one on-disk block. With
 // a dead-letter directory it then folds the spilled records of a crashed or
 // fault-injected middlebox into the same store, returning how many it
-// recovered.
-func writeTraceDB(dir, dlqDir string, records []rad.TraceRecord) (int, error) {
+// recovered; with compact set it finishes with a lifecycle compaction pass.
+func writeTraceDB(dir, dlqDir string, records []rad.TraceRecord, compact bool) (int, rad.TraceCompactStats, error) {
+	var cs rad.TraceCompactStats
 	db, err := rad.OpenTraceDB(dir, rad.TraceDBOptions{})
 	if err != nil {
-		return 0, err
+		return 0, cs, err
 	}
 	b := rad.NewTraceBatcher(db, 4096)
 	for _, r := range records {
 		if err := b.Append(r); err != nil {
 			db.Close()
-			return 0, fmt.Errorf("ingest tracedb: %w", err)
+			return 0, cs, fmt.Errorf("ingest tracedb: %w", err)
 		}
 	}
 	if err := b.Flush(); err != nil {
 		db.Close()
-		return 0, fmt.Errorf("ingest tracedb: %w", err)
+		return 0, cs, fmt.Errorf("ingest tracedb: %w", err)
 	}
 	reingested := 0
 	if dlqDir != "" {
 		dlq, err := rad.OpenDLQ(dlqDir)
 		if err != nil {
 			db.Close()
-			return 0, fmt.Errorf("open dlq: %w", err)
+			return 0, cs, fmt.Errorf("open dlq: %w", err)
 		}
 		reingested, err = db.Reingest(dlq)
 		if err != nil {
 			db.Close()
-			return 0, fmt.Errorf("dlq re-ingest: %w", err)
+			return 0, cs, fmt.Errorf("dlq re-ingest: %w", err)
 		}
 	}
-	return reingested, db.Close()
+	if compact {
+		if cs, err = db.Compact(); err != nil {
+			db.Close()
+			return reingested, cs, fmt.Errorf("compact tracedb: %w", err)
+		}
+	}
+	return reingested, cs, db.Close()
 }
 
 func writeCommandCSV(path string, records []rad.TraceRecord) error {

@@ -82,6 +82,9 @@ func run(args []string, stop <-chan struct{}) error {
 	breakerCooldown := fs.Duration("breaker-cooldown", 30*time.Second, "open-breaker cooldown before a half-open probe")
 	breakerProbes := fs.Int("breaker-probes", 1, "successful half-open probes required to close a breaker")
 	dlqDir := fs.String("dlq", "", "dead-letter directory: trace batches the sinks refuse spill here and re-ingest into -store on the next start ('' disables failover)")
+	compactEvery := fs.Duration("compact-every", 0, "background storage-lifecycle cadence for -store: retention then compaction each interval (0 disables)")
+	retainAge := fs.Duration("retain-age", 0, "retention: retire sealed -store segments older than this (0 keeps everything)")
+	retainBytes := fs.Int64("retain-bytes", 0, "retention: retire oldest sealed -store segments past this byte budget (0 is unlimited)")
 	fleetMode := fs.Bool("fleet", false, "serve a multi-tenant fleet: tenant-tagged requests route to lazily-instantiated per-tenant labs; untagged peers keep reaching the default lab unchanged")
 	maxTenants := fs.Int("tenants", rad.FleetDefaultMaxTenants, "labs one -fleet listener will instantiate before refusing new tenant IDs")
 	if err := fs.Parse(args); err != nil {
@@ -123,7 +126,12 @@ func run(args []string, stop <-chan struct{}) error {
 	var flushers []interface{ Flush() error }
 	var tdb *rad.TraceDB
 	if *storeDir != "" {
-		db, err := rad.OpenTraceDB(*storeDir, rad.TraceDBOptions{Clock: clock})
+		db, err := rad.OpenTraceDB(*storeDir, rad.TraceDBOptions{Clock: clock,
+			Lifecycle: rad.TraceLifecycleOptions{
+				Interval:       *compactEvery,
+				RetainMaxAge:   *retainAge,
+				RetainMaxBytes: *retainBytes,
+			}})
 		if err != nil {
 			return err
 		}
@@ -427,6 +435,10 @@ func run(args []string, stop <-chan struct{}) error {
 		}
 		fmt.Printf("tracedb: %d records persisted to %s (%d segments)\n",
 			tdb.Len(), tdb.Dir(), tdb.Segments())
+		if lc := tdb.Lifecycle(); lc.Compactions > 0 || lc.SegmentsRetired > 0 {
+			fmt.Printf("tracedb lifecycle: %d compactions (%d blocks merged), %d segments retired, %d records dropped, %d bytes reclaimed\n",
+				lc.Compactions, lc.BlocksMerged, lc.SegmentsRetired, lc.RecordsDropped, lc.BytesReclaimed)
+		}
 	}
 	if monitor != nil {
 		fmt.Printf("power samples recorded: %d\n", monitor.Len())

@@ -6,19 +6,27 @@
 //
 // Usage:
 //
-//	radquery -store DIR [-mode info|count|runs|scan] [filters]
+//	radquery -store DIR [-mode info|count|runs|scan|compact] [filters]
 //	radquery -follow -addr HOST:PORT [filters]
 //
 // Modes:
 //
-//	info   store summary: segments, records, time span, runs (default)
-//	count  records per group (-by command|device|run|procedure)
-//	runs   the distinct supervised run identifiers
-//	scan   stream matching records (-format jsonl|csv), e.g. the per-run
-//	       extraction feeding RQ1/Table I
+//	info     store summary: segments, records, time span, runs, and the
+//	         storage-lifecycle state — live vs reclaimable bytes, the
+//	         block-size distribution, the retention horizon (default)
+//	count    records per group (-by command|device|run|procedure)
+//	runs     the distinct supervised run identifiers
+//	scan     stream matching records (-format jsonl|csv), e.g. the per-run
+//	         extraction feeding RQ1/Table I
+//	compact  run the storage lifecycle by hand: compact fragmented
+//	         segments, and apply -retain-age/-retain-bytes when set
 //
 // Filters (scan, and count for run/procedure groupings): -device, -key,
 // -proc, -run, -from/-to (RFC 3339), -limit.
+//
+// -explain prints the selectivity planner's decision for a scan query —
+// which posting list drives, how many blocks are read versus provably
+// fully-covered — instead of executing it.
 //
 // -follow turns a scan into a live tail against a running middlebox's
 // -stream listener: the middlebox replays every matching record already in
@@ -48,7 +56,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("radquery", flag.ContinueOnError)
 	storeDir := fs.String("store", "", "tracedb directory (required)")
-	mode := fs.String("mode", "info", "info, count, runs, or scan")
+	mode := fs.String("mode", "info", "info, count, runs, scan, or compact")
 	by := fs.String("by", "command", "count grouping: command, device, run, or procedure")
 	device := fs.String("device", "", "filter: device name")
 	key := fs.String("key", "", "filter: command type (Device.Name)")
@@ -58,6 +66,9 @@ func run(args []string, out io.Writer) error {
 	to := fs.String("to", "", "filter: latest Record.Time, RFC 3339")
 	limit := fs.Int("limit", 0, "scan: stop after N records (0 = all)")
 	format := fs.String("format", "jsonl", "scan output: jsonl or csv")
+	explain := fs.Bool("explain", false, "scan: print the query plan instead of the records")
+	retainAge := fs.Duration("retain-age", 0, "compact: also retire sealed segments older than this")
+	retainBytes := fs.Int64("retain-bytes", 0, "compact: also retire oldest sealed segments past this byte budget")
 	follow := fs.Bool("follow", false, "live-tail a running middlebox instead of reading a store")
 	addr := fs.String("addr", "", "follow: the middlebox's -stream listener address")
 	if err := fs.Parse(args); err != nil {
@@ -86,7 +97,9 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-to: %w", err)
 	}
 
-	db, err := rad.OpenTraceDB(*storeDir, rad.TraceDBOptions{})
+	db, err := rad.OpenTraceDB(*storeDir, rad.TraceDBOptions{
+		Lifecycle: rad.TraceLifecycleOptions{RetainMaxAge: *retainAge, RetainMaxBytes: *retainBytes},
+	})
 	if err != nil {
 		return err
 	}
@@ -103,10 +116,57 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	case "scan":
+		if *explain {
+			return printExplain(out, db, q)
+		}
 		return printScan(out, db, q, *limit, *format)
+	case "compact":
+		return runCompact(out, db, *retainAge > 0 || *retainBytes > 0)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
+}
+
+// runCompact is -mode compact: the manual lifecycle trigger. Retention (when
+// a policy flag is set) runs first to free whole segments, then compaction
+// densifies what remains.
+func runCompact(out io.Writer, db *rad.TraceDB, retain bool) error {
+	if retain {
+		rs, err := db.Retain()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "retained: %d segments retired, %d records dropped, %d bytes reclaimed\n",
+			rs.SegmentsRetired, rs.RecordsDropped, rs.BytesReclaimed)
+	}
+	cs, err := db.Compact()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "compacted: %d steps, %d segments -> %d, %d blocks -> %d, %d records, %d bytes -> %d\n",
+		cs.Compactions, cs.SegmentsIn, cs.SegmentsOut,
+		cs.BlocksIn, cs.BlocksOut, cs.Records, cs.BytesIn, cs.BytesOut)
+	return nil
+}
+
+// printExplain renders the selectivity planner's decision for q.
+func printExplain(out io.Writer, db *rad.TraceDB, q rad.TraceQuery) error {
+	pl := db.Explain(q)
+	fmt.Fprintf(out, "segments:  %d planned, %d pruned\n", pl.Segments-pl.SegmentsPruned, pl.SegmentsPruned)
+	for _, field := range []string{"device", "key", "run", "procedure", "scan"} {
+		if n := pl.Drivers[field]; n > 0 {
+			fmt.Fprintf(out, "driver:    %s (%d segments)\n", field, n)
+		}
+	}
+	for _, field := range []string{"device", "key", "run", "procedure"} {
+		if n, ok := pl.FilterBlocks[field]; ok {
+			fmt.Fprintf(out, "filter:    %-9s -> %d posting-list blocks\n", field, n)
+		}
+	}
+	fmt.Fprintf(out, "blocks:    %d candidates of %d total, %d fully covered (no per-record re-filter)\n",
+		pl.CandidateBlocks, pl.TotalBlocks, pl.CoveredBlocks)
+	fmt.Fprintf(out, "records:   <= %d from blocks, %d staged\n", pl.CandidateRecords, pl.StagedTail)
+	return nil
 }
 
 func parseTime(s string) (time.Time, error) {
@@ -126,6 +186,21 @@ func printInfo(out io.Writer, db *rad.TraceDB) error {
 			last.Sub(first).Hours()/24)
 	}
 	fmt.Fprintf(out, "runs:     %d supervised\n", len(db.Runs()))
+	lc := db.Lifecycle()
+	fmt.Fprintf(out, "bytes:    %d live, %d reclaimable (%d retired awaiting readers, %d past retention)\n",
+		lc.LiveBytes, lc.RetiredBytes+lc.ExpiredBytes, lc.RetiredBytes, lc.ExpiredBytes)
+	if lc.Blocks.Blocks > 0 {
+		fmt.Fprintf(out, "blocks:   %d (payload min %d / avg %d / max %d bytes; %d fragmented)\n",
+			lc.Blocks.Blocks, lc.Blocks.MinBytes, lc.Blocks.AvgBytes, lc.Blocks.MaxBytes, lc.Blocks.Fragmented)
+	}
+	if lc.CompactedSegments > 0 || lc.Compactions > 0 {
+		fmt.Fprintf(out, "compact:  %d compacted segments live; %d compactions, %d blocks merged, %d bytes reclaimed\n",
+			lc.CompactedSegments, lc.Compactions, lc.BlocksMerged, lc.BytesReclaimed)
+	}
+	if !lc.RetentionHorizon.IsZero() {
+		fmt.Fprintf(out, "retain:   horizon %s; %d segments retired, %d records dropped so far\n",
+			lc.RetentionHorizon.UTC().Format(time.RFC3339), lc.SegmentsRetired, lc.RecordsDropped)
+	}
 	return nil
 }
 
@@ -231,6 +306,7 @@ func printScan(out io.Writer, db *rad.TraceDB, q rad.TraceQuery, limit int, form
 	}
 	n := 0
 	it := db.Scan(q)
+	defer it.Close() // a -limit break abandons the snapshot early
 	for it.Next() {
 		if err := sink.Append(it.Record()); err != nil {
 			return err

@@ -79,5 +79,10 @@ func (t *Tail) Duplicates() uint64 { return t.dups }
 // Subscriber exposes the underlying live subscription (for Stats).
 func (t *Tail) Subscriber() *Subscriber { return t.sub }
 
-// Close detaches the live subscription.
-func (t *Tail) Close() { t.sub.Close() }
+// Close detaches the live subscription and releases the snapshot iterator's
+// segment references, so a tail abandoned mid-snapshot does not pin files
+// the store's lifecycle engine has retired.
+func (t *Tail) Close() {
+	t.sub.Close()
+	t.it.Close()
+}

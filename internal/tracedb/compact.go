@@ -1,0 +1,315 @@
+package tracedb
+
+import (
+	"fmt"
+	"os"
+
+	"rad/internal/store"
+)
+
+// CompactStats summarizes one Compact call (which may run several merge
+// steps until no candidate run remains).
+type CompactStats struct {
+	Compactions int // merge steps executed
+	SegmentsIn  int // source segments consumed
+	SegmentsOut int // compacted segments produced (one per step)
+	BlocksIn    int
+	BlocksOut   int
+	Records     int
+	BytesIn     int64 // committed file bytes consumed
+	BytesOut    int64 // committed file bytes produced
+}
+
+// compactHook, when non-nil, is invoked at the compactor's crash-window
+// boundaries ("temp-written": output fsynced, rename pending; "renamed":
+// output durable under its final name, in-memory swap pending). A non-nil
+// error aborts the step with no cleanup — exactly the state a crash at that
+// point leaves on disk — so the recovery tests can exercise both windows.
+var compactHook func(stage string) error
+
+// Compact merges runs of fragmented sealed segments — segments whose
+// average block payload is far below the target block size, the debris of
+// small Batcher flushes — into dense, freshly indexed segments. It runs
+// concurrently with the writer and with readers: sources are immutable
+// while compaction reads them, the rewritten segment is swapped in under
+// the write lock (copy-on-write), and retired source files are unlinked
+// only once the last in-flight snapshot drains.
+//
+// Crash safety: the output is written and fsynced under a .tmp name, then
+// renamed into place. A crash before the rename leaves only the temp file,
+// which Open deletes; a crash after it leaves the compacted file alongside
+// its sources, and Open discards the sources as covered duplicates.
+func (db *DB) Compact() (CompactStats, error) {
+	db.lcMu.Lock()
+	defer db.lcMu.Unlock()
+	var stats CompactStats
+	for {
+		step, ok, err := db.compactOnce()
+		if err != nil {
+			return stats, err
+		}
+		if !ok {
+			// Sources with no snapshot in flight drained during the loop;
+			// drop them from the retired bookkeeping now.
+			db.mu.Lock()
+			db.pruneRetiredLocked()
+			db.mu.Unlock()
+			return stats, nil
+		}
+		stats.Compactions++
+		stats.SegmentsIn += step.SegmentsIn
+		stats.SegmentsOut++
+		stats.BlocksIn += step.BlocksIn
+		stats.BlocksOut += step.BlocksOut
+		stats.Records += step.Records
+		stats.BytesIn += step.BytesIn
+		stats.BytesOut += step.BytesOut
+	}
+}
+
+// fragmented reports whether a sealed segment is a compaction source: it
+// holds records and its average block payload is below the fragmentation
+// threshold.
+func fragmented(s *segment, fragBytes int64) bool {
+	if s.index.count == 0 || len(s.index.blocks) == 0 {
+		return false
+	}
+	var payload int64
+	for i := range s.index.blocks {
+		payload += int64(s.index.blocks[i].payloadLen)
+	}
+	return payload/int64(len(s.index.blocks)) < fragBytes
+}
+
+// compactOnce selects and merges one run of fragmented segments. ok is
+// false when no candidate run exists.
+func (db *DB) compactOnce() (stats CompactStats, ok bool, err error) {
+	fragBytes := db.opts.Lifecycle.fragBytes()
+	blockBytes := db.opts.Lifecycle.blockBytes()
+
+	// Select the first maximal run of consecutive fragmented sealed
+	// segments whose combined payload fits one output segment, and pin the
+	// sources with snapshot references so retention in another process
+	// cycle cannot unlink them mid-read. Compacted segments are archival —
+	// they take no further writes — so they pack denser than live write
+	// segments: up to four write-segments' payload per output file, which
+	// is what lets a run of full-but-fragmented segments collapse into
+	// fewer files rather than being rewritten one-for-one.
+	maxPayload := 4 * db.opts.SegmentBytes
+	var srcs []*segment
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
+		return stats, false, ErrClosed
+	}
+	sealed := db.segs[:len(db.segs)-1]
+	payloadOf := func(s *segment) int64 {
+		var p int64
+		for i := range s.index.blocks {
+			p += int64(s.index.blocks[i].payloadLen)
+		}
+		return p
+	}
+	for i := 0; i < len(sealed) && srcs == nil; i++ {
+		if !fragmented(sealed[i], fragBytes) {
+			continue
+		}
+		var run []*segment
+		var payload int64
+		blocksIn := 0
+		for j := i; j < len(sealed); j++ {
+			s := sealed[j]
+			if !fragmented(s, fragBytes) {
+				break
+			}
+			p := payloadOf(s)
+			if len(run) > 0 && payload+p > maxPayload {
+				break
+			}
+			run = append(run, s)
+			payload += p
+			blocksIn += len(s.index.blocks)
+		}
+		// A run earns a rewrite when it merges files, or — for a lone
+		// fragmented segment — when re-blocking reduces the block count.
+		estOut := int(payload/blockBytes) + 1
+		if len(run) >= 2 || blocksIn > estOut {
+			srcs = run
+		} else {
+			i += len(run) - 1
+		}
+	}
+	if srcs == nil {
+		db.mu.RUnlock()
+		return stats, false, nil
+	}
+	for _, s := range srcs {
+		s.acquire()
+	}
+	db.mu.RUnlock()
+	defer func() {
+		for _, s := range srcs {
+			s.release()
+		}
+	}()
+
+	// Read every source block (sources are sealed, so no lock is needed)
+	// and rewrite the records as dense target-size blocks under a temp
+	// name, rebuilding tight posting lists and time bounds as we go.
+	lo, hi := srcs[0].id, srcs[len(srcs)-1].hi
+	finalPath := compactedPath(db.dir, lo, hi)
+	tmpPath := finalPath + tmpSuffix
+	out, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return stats, false, fmt.Errorf("tracedb: create compaction temp: %w", err)
+	}
+	cleanup := func(e error) (CompactStats, bool, error) {
+		out.Close()
+		os.Remove(tmpPath)
+		return stats, false, e
+	}
+	if _, err := out.WriteAt([]byte(segMagic), 0); err != nil {
+		return cleanup(fmt.Errorf("tracedb: write compaction header: %w", err))
+	}
+	ns := &segment{id: lo, hi: hi, path: finalPath, f: out, compacted: true,
+		size: int64(len(segMagic)), index: newSegmentIndex()}
+	ns.refs.Store(1)
+
+	var batch []store.Record
+	var batchBytes int
+	var encBuf []byte
+	flushBatch := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		encBuf = encodePayload(encBuf[:0], batch)
+		if err := ns.appendBlock(encBuf, batch); err != nil {
+			return err
+		}
+		stats.BlocksOut++
+		batch, batchBytes = batch[:0], 0
+		return nil
+	}
+	for _, s := range srcs {
+		stats.SegmentsIn++
+		stats.BlocksIn += len(s.index.blocks)
+		stats.BytesIn += s.size
+		for _, m := range s.index.blocks {
+			recs, err := s.readBlock(m)
+			if err != nil {
+				return cleanup(fmt.Errorf("tracedb: compaction read: %w", err))
+			}
+			for i := range recs {
+				est := recordSizeEstimate(recs[i])
+				if int64(batchBytes+est) > blockBytes && len(batch) > 0 {
+					if err := flushBatch(); err != nil {
+						return cleanup(err)
+					}
+				}
+				batch = append(batch, recs[i])
+				batchBytes += est
+				stats.Records++
+			}
+		}
+	}
+	if err := flushBatch(); err != nil {
+		return cleanup(err)
+	}
+	if err := out.Sync(); err != nil {
+		return cleanup(fmt.Errorf("tracedb: sync compaction temp: %w", err))
+	}
+	stats.BytesOut = ns.size
+
+	if compactHook != nil {
+		if err := compactHook("temp-written"); err != nil {
+			return stats, false, err // simulated crash: leave the temp file
+		}
+	}
+	if err := os.Rename(tmpPath, finalPath); err != nil {
+		return cleanup(fmt.Errorf("tracedb: install compacted segment: %w", err))
+	}
+	syncDir(db.dir)
+	if compactHook != nil {
+		if err := compactHook("renamed"); err != nil {
+			return stats, false, err // simulated crash: sources still live
+		}
+	}
+
+	// Swap: splice the compacted segment in place of its sources under the
+	// write lock, then retire the sources. Readers planned before the swap
+	// keep their references; new plans see only the compacted segment.
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		out.Close()
+		// The renamed file is durable and consistent; the next Open adopts
+		// it and discards the covered sources.
+		return stats, false, ErrClosed
+	}
+	i0 := -1
+	for i, s := range db.segs {
+		if s == srcs[0] {
+			i0 = i
+			break
+		}
+	}
+	if i0 < 0 || i0+len(srcs) > len(db.segs) {
+		db.mu.Unlock()
+		return cleanup(fmt.Errorf("tracedb: compaction sources vanished"))
+	}
+	for i, s := range srcs {
+		if db.segs[i0+i] != s {
+			db.mu.Unlock()
+			return cleanup(fmt.Errorf("tracedb: compaction sources reordered"))
+		}
+	}
+	segs := make([]*segment, 0, len(db.segs)-len(srcs)+1)
+	segs = append(segs, db.segs[:i0]...)
+	segs = append(segs, ns)
+	segs = append(segs, db.segs[i0+len(srcs):]...)
+	db.segs = segs
+	for _, s := range srcs {
+		s.retired.Store(true)
+		db.retired = append(db.retired, s)
+	}
+	db.pruneRetiredLocked()
+	db.mu.Unlock()
+
+	// Drop the DB's ownership reference on each source (the deferred
+	// release drops the selection reference); the files unlink once the
+	// last in-flight snapshot drains.
+	for _, s := range srcs {
+		s.release()
+	}
+
+	db.lcStats.compactions.Add(1)
+	db.lcStats.blocksMerged.Add(uint64(stats.BlocksIn))
+	db.lcStats.segmentsRetired.Add(uint64(stats.SegmentsIn))
+	if d := stats.BytesIn - stats.BytesOut; d > 0 {
+		db.lcStats.bytesReclaimed.Add(uint64(d))
+	}
+	return stats, true, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power loss;
+// errors are ignored (the rename itself is already atomic on crash-free
+// filesystems, and recovery tolerates a missing file).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// pruneRetiredLocked drops drained entries from the retired list so a
+// long-lived store does not accumulate bookkeeping. Caller holds db.mu.
+func (db *DB) pruneRetiredLocked() {
+	k := 0
+	for _, s := range db.retired {
+		if s.refs.Load() > 0 {
+			db.retired[k] = s
+			k++
+		}
+	}
+	db.retired = db.retired[:k]
+}

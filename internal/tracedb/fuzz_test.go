@@ -10,6 +10,75 @@ import (
 	"rad/internal/store"
 )
 
+// FuzzCompactRoundTrip pins the compactor's identity contract: for any
+// record batch, flush shape, and segment size, compacting the store changes
+// neither the canonical encoding of a full scan nor what a reopen recovers.
+// The fuzzer shapes the records (data), the flush granularity (perBlock),
+// and the write-segment size (segKB), hunting for batch boundaries where
+// re-blocking could drop, duplicate, or reorder a record.
+func FuzzCompactRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint8(0), uint8(0))
+	f.Add([]byte("C9MVNG hello world some trace bytes"), uint8(1), uint8(1))
+	f.Add(bytes.Repeat([]byte{0x41, 0x07, 0xff, 0x00}, 200), uint8(3), uint8(2))
+	f.Add(bytes.Repeat([]byte("Quantos.start_dosing DIRECT run-p2 "), 40), uint8(2), uint8(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, perBlock, segKB uint8) {
+		recs := recordsFromFuzz(data)
+		if len(recs) == 0 {
+			return
+		}
+		dir := t.TempDir()
+		opts := Options{SegmentBytes: (int64(segKB%8) + 1) << 10}
+		db, err := Open(dir, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		per := int(perBlock%8) + 1
+		for i := 0; i < len(recs); i += per {
+			j := i + per
+			if j > len(recs) {
+				j = len(recs)
+			}
+			if err := db.AppendBatch(recs[i:j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before, err := db.Collect(Query{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := encodePayload(nil, before)
+
+		if _, err := db.Compact(); err != nil {
+			t.Fatalf("compact: %v", err)
+		}
+		after, err := db.Collect(Query{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := encodePayload(nil, after); !bytes.Equal(want, got) {
+			t.Fatalf("compaction changed the store: %d records -> %d", len(before), len(after))
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		db2, err := Open(dir, opts)
+		if err != nil {
+			t.Fatalf("reopen after compaction: %v", err)
+		}
+		defer db2.Close()
+		reopened, err := db2.Collect(Query{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := encodePayload(nil, reopened); !bytes.Equal(want, got) {
+			t.Fatalf("reopen after compaction changed the store: %d records -> %d",
+				len(before), len(reopened))
+		}
+	})
+}
+
 // recordsFromFuzz derives a deterministic batch of records from raw fuzz
 // bytes: the input is consumed as a stream of field lengths and contents, so
 // the fuzzer can shape devices, args, times, and batch sizes freely.

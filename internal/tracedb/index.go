@@ -6,8 +6,19 @@ import (
 	"rad/internal/store"
 )
 
+// Purity bits: set when every record in a block shares one value of the
+// field, making the block's sole* field authoritative for coverage checks.
+const (
+	pureDevice = 1 << iota
+	pureKey
+	pureRun
+	pureProc
+)
+
 // blockMeta is one entry of a segment's sparse index: enough to locate,
-// verify, and time-prune a block without decoding it.
+// verify, and time-prune a block without decoding it, plus the per-field
+// sole values that let the planner prove a block matches a filter in full
+// (the Iterator fast path that skips the per-record re-filter).
 type blockMeta struct {
 	off        int64 // file offset of the block's 8-byte header
 	payloadLen int32
@@ -15,6 +26,35 @@ type blockMeta struct {
 	count      int32
 	minTimeN   int64 // min/max Record.Time over the block, UnixNano
 	maxTimeN   int64
+
+	pure       uint8 // pure* bits; sole* is meaningful only when its bit is set
+	soleDevice string
+	soleKey    string
+	soleRun    string
+	soleProc   string
+}
+
+// covers reports whether every record in the block provably satisfies q:
+// each set equality filter is backed by a pure sole value and the block's
+// time bounds sit inside the query window. A covered block can be emitted
+// without re-running Query.Match per record.
+func (m *blockMeta) covers(q Query, fromN, toN int64) bool {
+	if m.minTimeN < fromN || m.maxTimeN > toN {
+		return false
+	}
+	if q.Device != "" && (m.pure&pureDevice == 0 || m.soleDevice != q.Device) {
+		return false
+	}
+	if q.Key != "" && (m.pure&pureKey == 0 || m.soleKey != q.Key) {
+		return false
+	}
+	if q.Run != "" && (m.pure&pureRun == 0 || m.soleRun != q.Run) {
+		return false
+	}
+	if q.Procedure != "" && (m.pure&pureProc == 0 || m.soleProc != q.Procedure) {
+		return false
+	}
+	return true
 }
 
 // segmentIndex is the in-memory index of one segment, built block-by-block
@@ -57,14 +97,32 @@ func (ix *segmentIndex) addBlock(off int64, payloadLen int, crc uint32, recs []s
 	for i := range recs {
 		r := &recs[i]
 		n := r.Time.UnixNano()
-		if i == 0 || n < m.minTimeN {
-			m.minTimeN = n
-		}
-		if i == 0 || n > m.maxTimeN {
-			m.maxTimeN = n
+		key := r.Key()
+		if i == 0 {
+			m.minTimeN, m.maxTimeN = n, n
+			m.pure = pureDevice | pureKey | pureRun | pureProc
+			m.soleDevice, m.soleKey, m.soleRun, m.soleProc = r.Device, key, r.Run, r.Procedure
+		} else {
+			if n < m.minTimeN {
+				m.minTimeN = n
+			}
+			if n > m.maxTimeN {
+				m.maxTimeN = n
+			}
+			if m.soleDevice != r.Device {
+				m.pure &^= pureDevice
+			}
+			if m.soleKey != key {
+				m.pure &^= pureKey
+			}
+			if m.soleRun != r.Run {
+				m.pure &^= pureRun
+			}
+			if m.soleProc != r.Procedure {
+				m.pure &^= pureProc
+			}
 		}
 		post(ix.byDevice, r.Device, bi)
-		key := r.Key()
 		post(ix.byKey, key, bi)
 		if r.Run != "" {
 			post(ix.byRun, r.Run, bi)
@@ -90,54 +148,40 @@ func post(m map[string][]int32, k string, bi int32) {
 	m[k] = append(m[k], bi)
 }
 
-// candidates returns copies of the block metas that can contain a record
-// matching q: the intersection of the posting lists of every set equality
-// filter, pruned by the per-block time bounds. A nil result means the
-// segment cannot match at all.
-func (ix *segmentIndex) candidates(q Query) []blockMeta {
-	var lists [][]int32
-	use := func(m map[string][]int32, k string) bool {
+// fieldList is one set equality filter's posting list, labelled with the
+// field that produced it — the planner's unit of selectivity estimation.
+type fieldList struct {
+	field string // "device", "key", "run", or "procedure"
+	list  []int32
+}
+
+// postingLists collects the posting lists of q's set filters in selectivity
+// order (shortest list — the most selective filter — first; ties broken by
+// field name order for determinism). ok is false when a filter value is
+// absent from the segment entirely, which prunes the whole segment.
+func (ix *segmentIndex) postingLists(q Query) (lists []fieldList, ok bool) {
+	use := func(m map[string][]int32, field, k string) bool {
 		if k == "" {
 			return true
 		}
-		l, ok := m[k]
-		if !ok {
+		l, present := m[k]
+		if !present {
 			return false
 		}
-		lists = append(lists, l)
+		lists = append(lists, fieldList{field: field, list: l})
 		return true
 	}
-	if !use(ix.byDevice, q.Device) || !use(ix.byKey, q.Key) ||
-		!use(ix.byRun, q.Run) || !use(ix.byProc, q.Procedure) {
-		return nil
+	if !use(ix.byDevice, "device", q.Device) || !use(ix.byKey, "key", q.Key) ||
+		!use(ix.byRun, "run", q.Run) || !use(ix.byProc, "procedure", q.Procedure) {
+		return nil, false
 	}
-
-	fromN, toN := q.timeBounds()
-	var out []blockMeta
-	emit := func(bi int32) {
-		m := ix.blocks[bi]
-		if m.maxTimeN < fromN || m.minTimeN > toN {
-			return
-		}
-		out = append(out, m)
-	}
-	if len(lists) == 0 {
-		for bi := range ix.blocks {
-			emit(int32(bi))
-		}
-		return out
-	}
-	ids := lists[0]
-	for _, l := range lists[1:] {
-		ids = intersect(ids, l)
-		if len(ids) == 0 {
-			return nil
+	// Insertion order is device, key, run, procedure — a stable tie-break.
+	for i := 1; i < len(lists); i++ {
+		for j := i; j > 0 && len(lists[j].list) < len(lists[j-1].list); j-- {
+			lists[j], lists[j-1] = lists[j-1], lists[j]
 		}
 	}
-	for _, bi := range ids {
-		emit(bi)
-	}
-	return out
+	return lists, true
 }
 
 // intersect merges two sorted posting lists.

@@ -1,0 +1,332 @@
+package tracedb
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// LifecycleOptions configures the storage lifecycle engine: background
+// compaction of fragmented segments and retention of old data. The zero
+// value disables everything — the store stays append-only, exactly the
+// pre-lifecycle behavior.
+type LifecycleOptions struct {
+	// Interval is the cadence of the background maintenance loop
+	// (retention, then compaction). Zero disables the loop; Compact and
+	// Retain can still be called manually (radquery -mode compact). The
+	// loop ticks on wall time regardless of Options.Clock; retention's age
+	// horizon uses Options.Clock, so virtual-clock campaigns age out
+	// virtually.
+	Interval time.Duration
+	// CompactBlockBytes is the payload size the compactor re-batches
+	// records into. Larger blocks amortize per-block overhead (header,
+	// CRC, read syscall, index entry) but coarsen the posting lists and
+	// time index — a block is the unit of pruning, so a very large block
+	// almost always contains any given command type and selective queries
+	// degrade toward full scans. The default, DefaultCompactBlockBytes,
+	// is dense enough to collapse small-flush debris by orders of
+	// magnitude while keeping rare-key and time-window pruning effective.
+	CompactBlockBytes int64
+	// CompactFragBytes marks a sealed segment fragmented — a compaction
+	// source — when its average block payload is below this. Defaults to
+	// a quarter of the compacted block size, so freshly compacted
+	// segments are never re-selected as sources.
+	CompactFragBytes int64
+	// RetainMaxAge retires whole sealed segments whose newest record is
+	// older than this relative to Options.Clock.Now(). Zero keeps
+	// everything.
+	RetainMaxAge time.Duration
+	// RetainMaxBytes retires the oldest sealed segments while the store's
+	// committed bytes exceed this. Zero is unlimited.
+	RetainMaxBytes int64
+}
+
+// DefaultCompactBlockBytes is the compactor's default re-batch target.
+const DefaultCompactBlockBytes = 64 << 10
+
+// DefaultCompactFragBytes is the default fragmentation threshold.
+const DefaultCompactFragBytes = DefaultCompactBlockBytes / 4
+
+func (o LifecycleOptions) blockBytes() int64 {
+	if o.CompactBlockBytes > 0 {
+		return o.CompactBlockBytes
+	}
+	return DefaultCompactBlockBytes
+}
+
+func (o LifecycleOptions) fragBytes() int64 {
+	if o.CompactFragBytes > 0 {
+		return o.CompactFragBytes
+	}
+	return o.blockBytes() / 4
+}
+
+// lifecycleStats are the always-maintained lifecycle and planner counters;
+// Observe exposes them, and Lifecycle()/radquery -mode info read them
+// directly.
+type lifecycleStats struct {
+	compactions     atomic.Uint64
+	blocksMerged    atomic.Uint64 // source blocks consumed by compaction
+	bytesReclaimed  atomic.Uint64 // committed bytes freed by compaction + retention
+	segmentsRetired atomic.Uint64
+	recordsDropped  atomic.Uint64 // records dropped by retention
+
+	plannerDevice atomic.Uint64
+	plannerKey    atomic.Uint64
+	plannerRun    atomic.Uint64
+	plannerProc   atomic.Uint64
+	plannerScan   atomic.Uint64
+}
+
+// plannerPick counts one per-segment driving-list choice.
+func (st *lifecycleStats) plannerPick(field string) {
+	switch field {
+	case "device":
+		st.plannerDevice.Add(1)
+	case "key":
+		st.plannerKey.Add(1)
+	case "run":
+		st.plannerRun.Add(1)
+	case "procedure":
+		st.plannerProc.Add(1)
+	default:
+		st.plannerScan.Add(1)
+	}
+}
+
+// RetainStats summarizes one Retain pass.
+type RetainStats struct {
+	SegmentsRetired int
+	RecordsDropped  int
+	BytesReclaimed  int64
+	// Horizon is the age cut-off applied (zero when no age policy is set).
+	Horizon time.Time
+}
+
+// Retain applies the configured retention policies: sealed segments whose
+// newest record is older than RetainMaxAge are retired whole, then the
+// oldest sealed segments are retired while the committed bytes exceed
+// RetainMaxBytes. The active segment is never touched, deletion is
+// whole-segment only (no partial rewrites), and retired files are unlinked
+// only after the last in-flight snapshot drains — a concurrent
+// snapshot-then-follow tail keeps reading the files it planned.
+func (db *DB) Retain() (RetainStats, error) {
+	db.lcMu.Lock()
+	defer db.lcMu.Unlock()
+	var stats RetainStats
+	pol := db.opts.Lifecycle
+	if pol.RetainMaxAge <= 0 && pol.RetainMaxBytes <= 0 {
+		return stats, nil
+	}
+	horizonN := int64(0)
+	hasAge := pol.RetainMaxAge > 0
+	if hasAge {
+		stats.Horizon = db.clock.Now().Add(-pol.RetainMaxAge)
+		horizonN = stats.Horizon.UnixNano()
+	}
+
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return stats, ErrClosed
+	}
+	victim := make(map[*segment]bool)
+	sealed := db.segs[:len(db.segs)-1]
+	if hasAge {
+		for _, s := range sealed {
+			if s.index.count == 0 {
+				continue
+			}
+			if _, maxN := s.index.timeSpan(); maxN < horizonN {
+				victim[s] = true
+			}
+		}
+	}
+	if pol.RetainMaxBytes > 0 {
+		var total int64
+		for _, s := range db.segs {
+			if !victim[s] {
+				total += s.size
+			}
+		}
+		for _, s := range sealed {
+			if total <= pol.RetainMaxBytes {
+				break
+			}
+			if victim[s] {
+				continue
+			}
+			victim[s] = true
+			total -= s.size
+		}
+	}
+	if len(victim) == 0 {
+		db.mu.Unlock()
+		return stats, nil
+	}
+	keep := make([]*segment, 0, len(db.segs)-len(victim))
+	var victims []*segment
+	for _, s := range db.segs {
+		if victim[s] {
+			victims = append(victims, s)
+			stats.SegmentsRetired++
+			stats.RecordsDropped += s.index.count
+			stats.BytesReclaimed += s.size
+			s.retired.Store(true)
+			db.retired = append(db.retired, s)
+			continue
+		}
+		keep = append(keep, s)
+	}
+	db.segs = keep
+	db.pruneRetiredLocked()
+	db.mu.Unlock()
+
+	for _, s := range victims {
+		s.release() // drop the DB's ownership reference
+	}
+	db.lcStats.segmentsRetired.Add(uint64(stats.SegmentsRetired))
+	db.lcStats.recordsDropped.Add(uint64(stats.RecordsDropped))
+	db.lcStats.bytesReclaimed.Add(uint64(stats.BytesReclaimed))
+	return stats, nil
+}
+
+// Maintain runs one full lifecycle pass — retention first (freeing bytes),
+// then compaction (densifying what remains) — and is what the background
+// loop executes each tick.
+func (db *DB) Maintain() (RetainStats, CompactStats, error) {
+	rs, err := db.Retain()
+	if err != nil {
+		return rs, CompactStats{}, err
+	}
+	cs, err := db.Compact()
+	return rs, cs, err
+}
+
+// lifecycleLoop is the background maintenance goroutine, started by Open
+// when Lifecycle.Interval > 0 and stopped by Close.
+func (db *DB) lifecycleLoop() {
+	defer close(db.lcDone)
+	t := time.NewTicker(db.opts.Lifecycle.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-db.lcStop:
+			return
+		case <-t.C:
+			if _, _, err := db.Maintain(); err != nil {
+				if err == ErrClosed {
+					return
+				}
+				// Maintenance is advisory: an IO error leaves the store
+				// exactly as durable as before the pass; retry next tick.
+			}
+		}
+	}
+}
+
+// stopLifecycle halts the background loop, if one is running; safe to call
+// more than once.
+func (db *DB) stopLifecycle() {
+	db.lcOnce.Do(func() {
+		if db.lcStop != nil {
+			close(db.lcStop)
+			<-db.lcDone
+		}
+	})
+}
+
+// BlockSizeSummary condenses the store's block payload-size distribution.
+type BlockSizeSummary struct {
+	Blocks     int
+	MinBytes   int64
+	AvgBytes   int64
+	MaxBytes   int64
+	Fragmented int // blocks with payload below the fragmentation threshold
+}
+
+// LifecycleInfo is the storage-lifecycle state radquery -mode info reports.
+type LifecycleInfo struct {
+	Segments          int
+	CompactedSegments int // current segments produced by the compactor
+	Records           int // committed records (staged appends excluded)
+	LiveBytes         int64
+	// RetiredBytes are bytes in segments already retired but still pinned
+	// by in-flight snapshots; ExpiredBytes are bytes the current retention
+	// policy would reclaim on the next pass.
+	RetiredBytes int64
+	ExpiredBytes int64
+	Blocks       BlockSizeSummary
+	// RetentionHorizon is the current age cut-off (zero without an age
+	// policy).
+	RetentionHorizon time.Time
+	// Totals over the store's lifetime (process lifetime — counters reset
+	// on Open).
+	Compactions     uint64
+	BlocksMerged    uint64
+	BytesReclaimed  uint64
+	SegmentsRetired uint64
+	RecordsDropped  uint64
+}
+
+// Lifecycle reports the store's lifecycle state: live versus reclaimable
+// bytes, the block-size distribution, the retention horizon, and the
+// engine's lifetime totals.
+func (db *DB) Lifecycle() LifecycleInfo {
+	pol := db.opts.Lifecycle
+	fragBytes := pol.fragBytes()
+	var info LifecycleInfo
+	var horizonN int64
+	if pol.RetainMaxAge > 0 {
+		info.RetentionHorizon = db.clock.Now().Add(-pol.RetainMaxAge)
+		horizonN = info.RetentionHorizon.UnixNano()
+	}
+
+	db.mu.RLock()
+	info.Segments = len(db.segs)
+	var payloadSum int64
+	for si, s := range db.segs {
+		if s.compacted {
+			info.CompactedSegments++
+		}
+		info.Records += s.index.count
+		info.LiveBytes += s.size
+		sealed := si < len(db.segs)-1
+		if sealed && s.index.count > 0 && pol.RetainMaxAge > 0 {
+			if _, maxN := s.index.timeSpan(); maxN < horizonN {
+				info.ExpiredBytes += s.size
+			}
+		}
+		for i := range s.index.blocks {
+			p := int64(s.index.blocks[i].payloadLen)
+			if info.Blocks.Blocks == 0 || p < info.Blocks.MinBytes {
+				info.Blocks.MinBytes = p
+			}
+			if p > info.Blocks.MaxBytes {
+				info.Blocks.MaxBytes = p
+			}
+			if p < fragBytes {
+				info.Blocks.Fragmented++
+			}
+			payloadSum += p
+			info.Blocks.Blocks++
+		}
+	}
+	for _, s := range db.retired {
+		if s.refs.Load() > 0 {
+			info.RetiredBytes += s.size
+		}
+	}
+	db.mu.RUnlock()
+	if pol.RetainMaxBytes > 0 && info.LiveBytes-info.ExpiredBytes > pol.RetainMaxBytes {
+		info.ExpiredBytes = info.LiveBytes - pol.RetainMaxBytes
+	}
+	if info.Blocks.Blocks > 0 {
+		info.Blocks.AvgBytes = payloadSum / int64(info.Blocks.Blocks)
+	}
+	info.Compactions = db.lcStats.compactions.Load()
+	info.BlocksMerged = db.lcStats.blocksMerged.Load()
+	info.BytesReclaimed = db.lcStats.bytesReclaimed.Load()
+	info.SegmentsRetired = db.lcStats.segmentsRetired.Load()
+	info.RecordsDropped = db.lcStats.recordsDropped.Load()
+	return info
+}

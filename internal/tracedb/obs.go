@@ -56,6 +56,25 @@ func (db *DB) Observe(reg *obs.Registry) {
 		return float64(len(db.pending))
 	})
 
+	// Lifecycle engine and query planner: the counters live on the DB (they
+	// back radquery -mode info too); the registry just exposes them.
+	reg.SetHelp("rad_tracedb_compactions_total", "Compaction merge steps completed.")
+	reg.CounterFunc("rad_tracedb_compactions_total", db.lcStats.compactions.Load)
+	reg.SetHelp("rad_tracedb_compact_blocks_merged_total", "Source blocks consumed by compaction.")
+	reg.CounterFunc("rad_tracedb_compact_blocks_merged_total", db.lcStats.blocksMerged.Load)
+	reg.SetHelp("rad_tracedb_lifecycle_bytes_reclaimed_total", "Committed bytes freed by compaction and retention.")
+	reg.CounterFunc("rad_tracedb_lifecycle_bytes_reclaimed_total", db.lcStats.bytesReclaimed.Load)
+	reg.SetHelp("rad_tracedb_segments_retired_total", "Segments retired by compaction and retention.")
+	reg.CounterFunc("rad_tracedb_segments_retired_total", db.lcStats.segmentsRetired.Load)
+	reg.SetHelp("rad_tracedb_retain_records_dropped_total", "Records dropped by retention.")
+	reg.CounterFunc("rad_tracedb_retain_records_dropped_total", db.lcStats.recordsDropped.Load)
+	reg.SetHelp("rad_tracedb_planner_driver_total", "Per-segment driving-list choices by the query planner.")
+	reg.CounterFunc("rad_tracedb_planner_driver_total", db.lcStats.plannerDevice.Load, "field", "device")
+	reg.CounterFunc("rad_tracedb_planner_driver_total", db.lcStats.plannerKey.Load, "field", "key")
+	reg.CounterFunc("rad_tracedb_planner_driver_total", db.lcStats.plannerRun.Load, "field", "run")
+	reg.CounterFunc("rad_tracedb_planner_driver_total", db.lcStats.plannerProc.Load, "field", "procedure")
+	reg.CounterFunc("rad_tracedb_planner_driver_total", db.lcStats.plannerScan.Load, "field", "scan")
+
 	db.mu.Lock()
 	db.obs = o
 	db.mu.Unlock()

@@ -61,25 +61,77 @@ func (q Query) timeBounds() (fromN, toN int64) {
 }
 
 // segPlan is one segment's share of a snapshot scan plan: the candidate
-// blocks selected by the index at snapshot time.
+// blocks selected by the planner at snapshot time, with a coverage flag per
+// block marking the ones whose records all provably match (no per-record
+// re-filter needed). The plan holds a reference on its segment so a
+// retiring compaction or retention pass cannot unlink the file underneath
+// the scan.
 type segPlan struct {
-	seg    *segment
-	blocks []blockMeta
+	seg     *segment
+	blocks  []blockMeta
+	covered []bool
+}
+
+// planSegment runs the selectivity planner over one segment's index:
+// posting lists of the set filters are ordered by length (shortest — most
+// selective — first), the shortest list drives the scan, the remaining
+// lists are intersected away block-granular, the sparse time index prunes
+// what survives, and the residual per-record predicates are left to the
+// block scan — skipped entirely for blocks whose metadata proves full
+// coverage. driver is the driving field ("scan" when no filter applies,
+// "" when the segment is pruned wholesale).
+func planSegment(ix *segmentIndex, q Query, fromN, toN int64) (blocks []blockMeta, covered []bool, driver string) {
+	lists, ok := ix.postingLists(q)
+	if !ok {
+		return nil, nil, ""
+	}
+	emit := func(bi int32) {
+		m := ix.blocks[bi]
+		if m.maxTimeN < fromN || m.minTimeN > toN {
+			return
+		}
+		blocks = append(blocks, m)
+		covered = append(covered, m.covers(q, fromN, toN))
+	}
+	if len(lists) == 0 {
+		for bi := range ix.blocks {
+			emit(int32(bi))
+		}
+		return blocks, covered, "scan"
+	}
+	ids := lists[0].list
+	for _, l := range lists[1:] {
+		ids = intersect(ids, l.list)
+		if len(ids) == 0 {
+			return nil, nil, lists[0].field
+		}
+	}
+	for _, bi := range ids {
+		emit(bi)
+	}
+	return blocks, covered, lists[0].field
 }
 
 // plan snapshots the scan state for q under the read lock: per-segment
 // candidate blocks plus the matching staged records. Blocks committed after
 // the snapshot are not seen — iterators read a consistent prefix even while
-// ingest continues.
+// ingest continues. Every planned segment is acquired; the caller must
+// release the plans (Iterator does so on exhaustion or Close).
 func (db *DB) plan(q Query) (plans []segPlan, tail []store.Record) {
+	fromN, toN := q.timeBounds()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	for _, s := range db.segs {
 		if s.index.count == 0 {
 			continue
 		}
-		if blocks := s.index.candidates(q); len(blocks) > 0 {
-			plans = append(plans, segPlan{seg: s, blocks: blocks})
+		blocks, covered, driver := planSegment(&s.index, q, fromN, toN)
+		if driver != "" {
+			db.lcStats.plannerPick(driver)
+		}
+		if len(blocks) > 0 {
+			s.acquire()
+			plans = append(plans, segPlan{seg: s, blocks: blocks, covered: covered})
 		}
 	}
 	for i := range db.pending {
@@ -90,31 +142,117 @@ func (db *DB) plan(q Query) (plans []segPlan, tail []store.Record) {
 	return plans, tail
 }
 
+// releasePlans drops the snapshot references a plan holds.
+func releasePlans(plans []segPlan) {
+	for i := range plans {
+		plans[i].seg.release()
+	}
+}
+
+// QueryPlan is the planner's explanation of how a query executes against
+// the current store state — the radquery -explain surface. Counts aggregate
+// over every segment.
+type QueryPlan struct {
+	// Segments holding records, and how many the planner eliminated
+	// wholesale (a filter value absent from the segment, or every candidate
+	// block time-pruned).
+	Segments       int
+	SegmentsPruned int
+	// Drivers counts segments by their driving choice: the most selective
+	// posting-list field ("device", "key", "run", "procedure") or "scan"
+	// when the query carries no set filter.
+	Drivers map[string]int
+	// FilterBlocks sums, per filter field, the posting-list lengths the
+	// planner weighed — the selectivity estimates.
+	FilterBlocks map[string]int
+	// TotalBlocks is the store's block count; CandidateBlocks is what the
+	// scan will actually read; CoveredBlocks of those are provably
+	// all-matching, so their per-record re-filter is skipped.
+	TotalBlocks     int
+	CandidateBlocks int
+	CoveredBlocks   int
+	// CandidateRecords upper-bounds the scan's result set; StagedTail is
+	// the matching staged (not yet flushed) records.
+	CandidateRecords int
+	StagedTail       int
+}
+
+// Explain runs the planner for q without reading any block and reports what
+// a Scan would do: driver choices, selectivity estimates, and candidate
+// versus covered block counts.
+func (db *DB) Explain(q Query) QueryPlan {
+	pl := QueryPlan{Drivers: make(map[string]int), FilterBlocks: make(map[string]int)}
+	fromN, toN := q.timeBounds()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, s := range db.segs {
+		if s.index.count == 0 {
+			continue
+		}
+		pl.Segments++
+		pl.TotalBlocks += len(s.index.blocks)
+		lists, ok := s.index.postingLists(q)
+		if !ok {
+			pl.SegmentsPruned++
+			continue
+		}
+		for _, l := range lists {
+			pl.FilterBlocks[l.field] += len(l.list)
+		}
+		blocks, covered, driver := planSegment(&s.index, q, fromN, toN)
+		if len(blocks) == 0 {
+			pl.SegmentsPruned++
+			continue
+		}
+		pl.Drivers[driver]++
+		pl.CandidateBlocks += len(blocks)
+		for i := range blocks {
+			pl.CandidateRecords += int(blocks[i].count)
+			if covered[i] {
+				pl.CoveredBlocks++
+			}
+		}
+	}
+	for i := range db.pending {
+		if q.Match(db.pending[i]) {
+			pl.StagedTail++
+		}
+	}
+	return pl
+}
+
 // Iterator streams the records matching a query in sequence order. It is
 // not safe for concurrent use, but any number of iterators may run
-// concurrently with each other and with the writer.
+// concurrently with each other, with the writer, and with the lifecycle
+// engine: the snapshot holds references on its segments, so files retired
+// by compaction or retention stay readable until this iterator drains or is
+// closed.
 type Iterator struct {
-	q     Query
-	plans []segPlan
-	tail  []store.Record
-	si    int // current segment plan
-	bi    int // next block within it
-	cur   []store.Record
-	ci    int
-	rec   store.Record
-	err   error
+	q        Query
+	plans    []segPlan
+	tail     []store.Record
+	si       int // current segment plan
+	bi       int // next block within it
+	cur      []store.Record
+	ci       int
+	rec      store.Record
+	err      error
+	released bool
 }
 
 // Scan returns an iterator over the records matching q at snapshot time, in
 // sequence order. The candidate blocks are selected from the per-segment
-// indexes; non-matching blocks are never read or decoded.
+// indexes; non-matching blocks are never read or decoded. An abandoned
+// iterator (not drained to exhaustion) must be Closed, or segment files
+// retired while it was in flight are never reclaimed.
 func (db *DB) Scan(q Query) *Iterator {
 	plans, tail := db.plan(q)
 	return &Iterator{q: q, plans: plans, tail: tail}
 }
 
 // Next advances to the next matching record, reporting whether one exists.
-// It returns false once the snapshot is exhausted or a read error occurred.
+// It returns false once the snapshot is exhausted or a read error occurred;
+// either way the snapshot's segment references are released.
 func (it *Iterator) Next() bool {
 	if it.err != nil {
 		return false
@@ -131,6 +269,7 @@ func (it *Iterator) Next() bool {
 				it.tail = nil
 				continue
 			}
+			it.release()
 			return false
 		}
 		p := it.plans[it.si]
@@ -140,11 +279,19 @@ func (it *Iterator) Next() bool {
 			continue
 		}
 		m := p.blocks[it.bi]
+		full := p.covered[it.bi]
 		it.bi++
 		recs, err := p.seg.readBlock(m)
 		if err != nil {
 			it.err = err
+			it.release()
 			return false
+		}
+		if full {
+			// Fast path: the block's index metadata proves every record
+			// matches, so the per-record re-filter is skipped.
+			it.cur, it.ci = recs, 0
+			continue
 		}
 		k := 0
 		for i := range recs {
@@ -163,21 +310,70 @@ func (it *Iterator) Record() store.Record { return it.rec }
 // Err returns the first read error the iterator encountered, if any.
 func (it *Iterator) Err() error { return it.err }
 
+// Close releases the iterator's snapshot references early and ends the
+// iteration: Next reports false afterwards. It is required when a scan is
+// abandoned before exhaustion (e.g. a limit was reached) and harmless — a
+// no-op — after the iterator drained naturally.
+func (it *Iterator) Close() {
+	it.release()
+	it.cur, it.tail = nil, nil
+	it.si = len(it.plans)
+}
+
+func (it *Iterator) release() {
+	if it.released {
+		return
+	}
+	it.released = true
+	releasePlans(it.plans)
+}
+
+// collectChunk is one unit of Collect's fan-out: a run of candidate blocks
+// within a single segment, sized by payload so dense compacted stores (few
+// segments, big blocks) parallelize as well as fragmented ones.
+type collectChunk struct {
+	seg     *segment
+	blocks  []blockMeta
+	covered []bool
+}
+
+// collectChunkBytes is the target decoded payload per parallel work unit.
+const collectChunkBytes = 1 << 20
+
 // Collect materializes the records matching q in sequence order, fanning
-// the block reads out across segments on the shared worker pool. The result
-// is identical to draining Scan(q) at the same snapshot.
+// the block reads out across payload-sized chunks on the shared worker
+// pool. The result is identical to draining Scan(q) at the same snapshot.
 func (db *DB) Collect(q Query) ([]store.Record, error) {
 	plans, tail := db.plan(q)
-	per, err := parallel.Map(plans, 0, func(_ int, p segPlan) ([]store.Record, error) {
+	defer releasePlans(plans)
+	var chunks []collectChunk
+	for _, p := range plans {
+		start, payload := 0, int64(0)
+		for i := range p.blocks {
+			payload += int64(p.blocks[i].payloadLen)
+			if payload >= collectChunkBytes {
+				chunks = append(chunks, collectChunk{p.seg, p.blocks[start : i+1], p.covered[start : i+1]})
+				start, payload = i+1, 0
+			}
+		}
+		if start < len(p.blocks) {
+			chunks = append(chunks, collectChunk{p.seg, p.blocks[start:], p.covered[start:]})
+		}
+	}
+	per, err := parallel.Map(chunks, 0, func(_ int, c collectChunk) ([]store.Record, error) {
 		var out []store.Record
-		for _, m := range p.blocks {
-			recs, err := p.seg.readBlock(m)
+		for i, m := range c.blocks {
+			recs, err := c.seg.readBlock(m)
 			if err != nil {
 				return nil, err
 			}
-			for i := range recs {
-				if q.Match(recs[i]) {
-					out = append(out, recs[i])
+			if c.covered[i] {
+				out = append(out, recs...)
+				continue
+			}
+			for j := range recs {
+				if q.Match(recs[j]) {
+					out = append(out, recs[j])
 				}
 			}
 		}

@@ -6,38 +6,93 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync/atomic"
 
 	"rad/internal/store"
 )
 
-// segment is one append-only on-disk file of record blocks plus its
-// in-memory index. The writer appends blocks at the committed tail with
-// WriteAt; readers use ReadAt at offsets below the committed size, so
-// concurrent reads never race the writer.
+// segment is one on-disk file of record blocks plus its in-memory index.
+// The writer appends blocks at the committed tail of the active (last)
+// segment with WriteAt; readers use ReadAt at offsets below the committed
+// size, so concurrent reads never race the writer. Sealed segments (all but
+// the last) are immutable until the lifecycle engine retires them.
+//
+// Lifecycle: refs counts the owners of the segment — the DB itself plus
+// every in-flight scan snapshot that planned blocks from it. Compaction and
+// retention retire a segment by dropping the DB's reference; the file is
+// closed, and unlinked, only when the last snapshot drains, so an iterator
+// opened before a compaction keeps reading the pre-compaction bytes it
+// planned (copy-on-write segment swap).
 type segment struct {
-	id    int
+	id    int // lowest plain-segment id this file covers
+	hi    int // highest covered id; == id unless the file was compacted
 	path  string
 	f     *os.File
 	size  int64 // committed bytes, including the magic header
 	index segmentIndex
+
+	refs      atomic.Int32 // DB ownership + in-flight snapshots
+	retired   atomic.Bool  // unlink (not just close) once refs drains
+	compacted bool         // produced by the compactor (range-named file)
 }
 
-// segmentPath returns the file name of segment id inside dir.
+// acquire adds a snapshot reference; the segment's file stays open (and on
+// disk) until a matching release.
+func (s *segment) acquire() { s.refs.Add(1) }
+
+// release drops one reference. When the last reference drains the file is
+// closed, and removed if the segment was retired by compaction or
+// retention. Close/remove errors are ignored: release races DB.Close by
+// design, and both double-close and double-unlink are harmless.
+func (s *segment) release() {
+	if s.refs.Add(-1) != 0 {
+		return
+	}
+	s.f.Close()
+	if s.retired.Load() {
+		os.Remove(s.path)
+	}
+}
+
+// segmentPath returns the file name of plain segment id inside dir.
 func segmentPath(dir string, id int) string {
 	return filepath.Join(dir, fmt.Sprintf("seg-%08d.seg", id))
 }
 
-// parseSegmentID extracts the id from a segment file name, reporting whether
-// the name matches the seg-%08d.seg pattern.
-func parseSegmentID(name string) (int, bool) {
-	var id int
-	if _, err := fmt.Sscanf(name, "seg-%d.seg", &id); err != nil {
-		return 0, false
-	}
-	return id, fmt.Sprintf("seg-%08d.seg", id) == name
+// compactedPath returns the file name of a compacted segment covering plain
+// ids [lo, hi] inside dir.
+func compactedPath(dir string, lo, hi int) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%08d-%08d.seg", lo, hi))
 }
 
-// createSegment creates a fresh segment file and writes its magic header.
+// tmpSuffix marks in-progress compaction outputs; Open deletes leftovers.
+const tmpSuffix = ".tmp"
+
+// parseSegmentName extracts the covered id range from a segment file name:
+// seg-%08d.seg (a plain segment, lo == hi) or seg-%08d-%08d.seg (a
+// compacted segment covering [lo, hi]). compacted reports which form
+// matched.
+func parseSegmentName(name string) (lo, hi int, compacted, ok bool) {
+	if strings.HasSuffix(name, tmpSuffix) {
+		return 0, 0, false, false
+	}
+	if _, err := fmt.Sscanf(name, "seg-%d-%d.seg", &lo, &hi); err == nil {
+		if fmt.Sprintf("seg-%08d-%08d.seg", lo, hi) == name && lo <= hi {
+			return lo, hi, true, true
+		}
+		return 0, 0, false, false
+	}
+	if _, err := fmt.Sscanf(name, "seg-%d.seg", &lo); err == nil {
+		if fmt.Sprintf("seg-%08d.seg", lo) == name {
+			return lo, lo, false, true
+		}
+	}
+	return 0, 0, false, false
+}
+
+// createSegment creates a fresh plain segment file and writes its magic
+// header.
 func createSegment(dir string, id int) (*segment, error) {
 	path := segmentPath(dir, id)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
@@ -48,11 +103,13 @@ func createSegment(dir string, id int) (*segment, error) {
 		f.Close()
 		return nil, fmt.Errorf("tracedb: write segment header: %w", err)
 	}
-	return &segment{
-		id: id, path: path, f: f,
+	s := &segment{
+		id: id, hi: id, path: path, f: f,
 		size:  int64(len(segMagic)),
 		index: newSegmentIndex(),
-	}, nil
+	}
+	s.refs.Store(1)
+	return s, nil
 }
 
 // openSegment opens an existing segment file and recovers it: it scans the
@@ -61,12 +118,13 @@ func createSegment(dir string, id int) (*segment, error) {
 // there, and rebuilds the in-memory index from the surviving blocks. A file
 // with a missing or damaged magic header holds no committed records and is
 // reset to an empty segment.
-func openSegment(path string, id int) (*segment, error) {
+func openSegment(path string, lo, hi int, compacted bool) (*segment, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return nil, fmt.Errorf("tracedb: open segment: %w", err)
 	}
-	s := &segment{id: id, path: path, f: f, index: newSegmentIndex()}
+	s := &segment{id: lo, hi: hi, path: path, f: f, compacted: compacted, index: newSegmentIndex()}
+	s.refs.Store(1)
 
 	st, err := f.Stat()
 	if err != nil {

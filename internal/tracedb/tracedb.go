@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -17,7 +19,9 @@ import (
 type Options struct {
 	// SegmentBytes is the size threshold at which the active segment is
 	// rotated; a block never spans segments, so a segment may exceed the
-	// threshold by at most one block. Defaults to DefaultSegmentBytes.
+	// threshold by at most one block. It also caps how much source payload
+	// one compaction step merges into a single output segment. Defaults to
+	// DefaultSegmentBytes.
 	SegmentBytes int64
 	// BlockRecords is the number of per-record Append calls staged before
 	// they are automatically flushed as one block. Defaults to
@@ -25,10 +29,14 @@ type Options struct {
 	// (the store.Batcher flush boundary) regardless of this setting.
 	BlockRecords int
 	// Clock is the time source for observability timings (recovery,
-	// append, and flush latency histograms — see Observe). It never
-	// affects the data path. Defaults to the real clock; campaigns under a
-	// virtual clock pass theirs so the timing metrics stay deterministic.
+	// append, and flush latency histograms — see Observe) and for the
+	// retention age horizon. It never affects the append path. Defaults to
+	// the real clock; campaigns under a virtual clock pass theirs so the
+	// timing metrics and retention horizon stay deterministic.
 	Clock simclock.Clock
+	// Lifecycle configures background compaction and retention; the zero
+	// value keeps the store append-only.
+	Lifecycle LifecycleOptions
 }
 
 // DefaultSegmentBytes is the default segment rotation threshold.
@@ -42,18 +50,30 @@ var ErrClosed = errors.New("tracedb: database is closed")
 // drops in as the middlebox's primary sink. One writer and any number of
 // concurrent readers are safe; readers observe a consistent snapshot taken
 // at Scan/Collect time (committed blocks plus the staged per-record
-// appends).
+// appends). The lifecycle engine (Compact, Retain, and the background loop
+// armed by Options.Lifecycle.Interval) rewrites and retires segments
+// concurrently with both.
 type DB struct {
 	dir  string
 	opts Options
 
 	mu       sync.RWMutex
 	segs     []*segment
+	retired  []*segment     // retired but still pinned by in-flight snapshots
 	pending  []store.Record // staged per-record appends, not yet in a block
 	encBuf   []byte         // reusable payload encode buffer (writer-only)
 	nextSeq  uint64
 	closed   bool
 	onCommit func(recs []store.Record)
+
+	// Lifecycle engine state: lcMu single-flights Compact/Retain, lcStats
+	// are the always-on counters, lcStop/lcDone bracket the background
+	// loop.
+	lcMu    sync.Mutex
+	lcStats lifecycleStats
+	lcStop  chan struct{}
+	lcDone  chan struct{}
+	lcOnce  sync.Once
 
 	// Observability (see obs.go). obs is nil until Observe; the write path
 	// pays one nil check per call when unobserved. recovery is the wall
@@ -69,10 +89,75 @@ var (
 	_ store.Notifier  = (*DB)(nil)
 )
 
+// segFile is one segment file discovered during recovery.
+type segFile struct {
+	name      string
+	lo, hi    int
+	compacted bool
+}
+
+// recoverDirEntries lists the segment files of dir in id order, deleting
+// compaction debris first: .tmp outputs whose rename never happened, and
+// segments wholly covered by a compacted segment (the crash window between
+// the compactor's rename and the source unlink).
+func recoverDirEntries(dir string) ([]segFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("tracedb: %w", err)
+	}
+	var files []segFile
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasSuffix(name, tmpSuffix) {
+			// A half-written compaction output: its sources are intact, so
+			// the temp is pure debris.
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if lo, hi, compacted, ok := parseSegmentName(name); ok {
+			files = append(files, segFile{name: name, lo: lo, hi: hi, compacted: compacted})
+		}
+	}
+	// Discard files covered by a (necessarily complete — it was renamed
+	// into place) compacted segment. A plain segment with the same id range
+	// as a compacted one is the pre-compaction original.
+	covered := func(a, b segFile) bool {
+		if a.name == b.name || !b.compacted {
+			return false
+		}
+		if b.lo <= a.lo && a.hi <= b.hi {
+			return a.lo != b.lo || a.hi != b.hi || !a.compacted
+		}
+		return false
+	}
+	kept := files[:0]
+	for _, a := range files {
+		superseded := false
+		for _, b := range files {
+			if covered(a, b) {
+				superseded = true
+				break
+			}
+		}
+		if superseded {
+			os.Remove(filepath.Join(dir, a.name))
+			continue
+		}
+		kept = append(kept, a)
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].lo < kept[j].lo })
+	return kept, nil
+}
+
 // Open opens (or creates) the store in dir, recovering every segment:
-// blocks are CRC-verified in parallel across segments, a torn tail is
-// truncated, and sequence numbering resumes after the highest recovered
-// record.
+// half-finished compaction temps are discarded, segments superseded by a
+// completed compaction are dropped, blocks are CRC-verified in parallel
+// across segments, a torn tail is truncated, and sequence numbering resumes
+// after the highest recovered record. When Options.Lifecycle.Interval is
+// set, the background maintenance loop starts immediately.
 func Open(dir string, opts Options) (*DB, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = DefaultSegmentBytes
@@ -87,23 +172,13 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("tracedb: %w", err)
 	}
-	entries, err := os.ReadDir(dir)
+	files, err := recoverDirEntries(dir)
 	if err != nil {
-		return nil, fmt.Errorf("tracedb: %w", err)
+		return nil, err
 	}
-	var ids []int
-	for _, e := range entries {
-		if e.IsDir() {
-			continue
-		}
-		if id, ok := parseSegmentID(e.Name()); ok {
-			ids = append(ids, id)
-		}
-	}
-	sort.Ints(ids)
 
-	segs, err := parallel.Map(ids, 0, func(_ int, id int) (*segment, error) {
-		return openSegment(segmentPath(dir, id), id)
+	segs, err := parallel.Map(files, 0, func(_ int, sf segFile) (*segment, error) {
+		return openSegment(filepath.Join(dir, sf.name), sf.lo, sf.hi, sf.compacted)
 	})
 	if err != nil {
 		for _, s := range segs {
@@ -128,6 +203,11 @@ func Open(dir string, opts Options) (*DB, error) {
 		db.segs = append(db.segs, s)
 	}
 	db.recovery = opts.Clock.Now().Sub(recoverStart)
+	if opts.Lifecycle.Interval > 0 {
+		db.lcStop = make(chan struct{})
+		db.lcDone = make(chan struct{})
+		go db.lifecycleLoop()
+	}
 	return db, nil
 }
 
@@ -244,9 +324,12 @@ func (db *DB) Sync() error {
 	return nil
 }
 
-// Close flushes staged records, syncs, and closes every segment file.
-// Further operations return ErrClosed.
+// Close stops the lifecycle loop, flushes staged records, syncs, and closes
+// every segment file — including retired segments still pinned by in-flight
+// snapshots, whose iterators will surface read errors rather than holding
+// the files open. Further operations return ErrClosed.
 func (db *DB) Close() error {
+	db.stopLifecycle()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -261,6 +344,13 @@ func (db *DB) Close() error {
 			first = fmt.Errorf("tracedb: close %s: %w", s.path, err)
 		}
 	}
+	for _, s := range db.retired {
+		// Force the cleanup a drained release would have done; racing
+		// releases double-close/double-remove harmlessly.
+		s.f.Close()
+		os.Remove(s.path)
+	}
+	db.retired = nil
 	db.closed = true
 	return first
 }
@@ -313,7 +403,7 @@ func (db *DB) writeOneBlockLocked(recs []store.Record) error {
 		if err := active.f.Sync(); err != nil {
 			return fmt.Errorf("tracedb: sync rotated segment: %w", err)
 		}
-		next, err := createSegment(db.dir, active.id+1)
+		next, err := createSegment(db.dir, active.hi+1)
 		if err != nil {
 			return err
 		}

@@ -354,8 +354,29 @@ type TraceQuery = tracedb.Query
 type TraceIterator = tracedb.Iterator
 
 // OpenTraceDB opens (or creates) a trace store directory, recovering and
-// truncating any torn tail left by a crash.
+// truncating any torn tail left by a crash — including half-finished
+// compaction temps and segments superseded by a completed compaction.
 var OpenTraceDB = tracedb.Open
+
+// TraceLifecycleOptions configures the store's lifecycle engine: background
+// compaction of fragmented segments and whole-segment retention (max age,
+// max bytes). Set on TraceDBOptions.Lifecycle.
+type TraceLifecycleOptions = tracedb.LifecycleOptions
+
+// TraceCompactStats summarizes a TraceDB.Compact call; TraceRetainStats a
+// TraceDB.Retain pass.
+type TraceCompactStats = tracedb.CompactStats
+type TraceRetainStats = tracedb.RetainStats
+
+// TraceLifecycleInfo is the storage-lifecycle state (live vs reclaimable
+// bytes, block-size distribution, retention horizon) behind
+// radquery -mode info.
+type TraceLifecycleInfo = tracedb.LifecycleInfo
+
+// TraceQueryPlan explains how the selectivity planner would execute a query
+// (radquery -explain): driver choices, posting-list sizes, candidate and
+// fully-covered block counts.
+type TraceQueryPlan = tracedb.QueryPlan
 
 // --- Live streaming and online detection (internal/stream) ---
 

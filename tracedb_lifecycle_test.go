@@ -1,0 +1,189 @@
+package rad_test
+
+// Full-campaign acceptance tests for the tracedb storage lifecycle: the
+// compactor must be invisible to queries (byte-identical results over the
+// whole 128,785-record campaign), and an age policy must trim the store
+// without tearing a sequence boundary.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"rad"
+)
+
+// ingestSmallFlushes writes records through small AppendBatch calls, the
+// fragmentation pattern a chatty middlebox Batcher leaves on disk.
+func ingestSmallFlushes(t *testing.T, db *rad.TraceDB, recs []rad.TraceRecord, flush int) {
+	t.Helper()
+	for i := 0; i < len(recs); i += flush {
+		j := i + flush
+		if j > len(recs) {
+			j = len(recs)
+		}
+		if err := db.AppendBatch(recs[i:j]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// jsonlBytes renders records with the canonical JSONL sink — the
+// byte-identity oracle for before/after comparisons.
+func jsonlBytes(t *testing.T, recs []rad.TraceRecord) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := rad.NewJSONLWriter(&buf)
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCompactFullCampaignByteIdentical(t *testing.T) {
+	scale := 1.0
+	if testing.Short() {
+		scale = 0.05
+	}
+	ds, err := rad.GenerateDataset(rad.GenerateConfig{Seed: 11, Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := ds.Store.All()
+	if !testing.Short() && len(recs) != rad.TotalTraceObjects {
+		t.Fatalf("campaign has %d records, want %d", len(recs), rad.TotalTraceObjects)
+	}
+
+	dir := t.TempDir()
+	// Small write segments so the ingest seals several of them even at the
+	// -short scale; compaction only ever touches sealed segments.
+	opts := rad.TraceDBOptions{SegmentBytes: 256 << 10}
+	db, err := rad.OpenTraceDB(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestSmallFlushes(t, db, recs, 64)
+
+	queries := []rad.TraceQuery{
+		{},
+		{Device: "Quantos"},
+		{Key: "Quantos.start_dosing"},
+		{Run: "2021-12-16_run1"},
+	}
+	if r := recs[len(recs)/2]; r.Run != "" {
+		queries[3] = rad.TraceQuery{Run: r.Run}
+	}
+	before := make([][]byte, len(queries))
+	for i, q := range queries {
+		got, err := db.Collect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[i] = jsonlBytes(t, got)
+	}
+
+	stats, err := db.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Compactions == 0 || stats.BlocksOut >= stats.BlocksIn {
+		t.Fatalf("campaign ingest did not compact: %+v", stats)
+	}
+	for i, q := range queries {
+		got, err := db.Collect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(before[i], jsonlBytes(t, got)) {
+			t.Fatalf("query %+v differs after compaction", q)
+		}
+	}
+
+	// Durability: the compacted store reopens to the same bytes.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := rad.OpenTraceDB(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for i, q := range queries {
+		got, err := db2.Collect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(before[i], jsonlBytes(t, got)) {
+			t.Fatalf("query %+v differs after reopening the compacted store", q)
+		}
+	}
+	t.Logf("campaign compaction: %d segments -> %d, %d blocks -> %d, %d bytes -> %d",
+		stats.SegmentsIn, stats.SegmentsOut, stats.BlocksIn, stats.BlocksOut,
+		stats.BytesIn, stats.BytesOut)
+}
+
+// TestRetainFullCampaignAgeTrim runs the paper-shaped retention scenario: a
+// virtual clock sits past the campaign's midpoint, an age policy trims the
+// old half, and the survivors are exactly the newest records with no torn
+// sequence boundary.
+func TestRetainFullCampaignAgeTrim(t *testing.T) {
+	scale := 0.2
+	if testing.Short() {
+		scale = 0.05
+	}
+	ds, err := rad.GenerateDataset(rad.GenerateConfig{Seed: 11, Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := ds.Store.All()
+	first, last := recs[0].Time, recs[len(recs)-1].Time
+	mid := first.Add(last.Sub(first) / 2)
+
+	clock := rad.NewVirtualClock(last.Add(time.Hour))
+	db, err := rad.OpenTraceDB(t.TempDir(), rad.TraceDBOptions{
+		SegmentBytes: 256 << 10,
+		Clock:        clock,
+		Lifecycle:    rad.TraceLifecycleOptions{RetainMaxAge: last.Add(time.Hour).Sub(mid)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ingestSmallFlushes(t, db, recs, 64)
+	beforeAll, err := db.Collect(rad.TraceQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := db.Retain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SegmentsRetired == 0 || stats.RecordsDropped == 0 {
+		t.Fatalf("age policy trimmed nothing: %+v", stats)
+	}
+	after, err := db.Collect(rad.TraceQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after)+stats.RecordsDropped != len(recs) {
+		t.Fatalf("dropped %d + kept %d != %d", stats.RecordsDropped, len(after), len(recs))
+	}
+	// Survivors are the exact suffix of the pre-trim store.
+	suffix := beforeAll[len(beforeAll)-len(after):]
+	if !bytes.Equal(jsonlBytes(t, suffix), jsonlBytes(t, after)) {
+		t.Fatal("retention survivors are not the newest-records suffix")
+	}
+	// Whole-segment granularity: nothing younger than the horizon minus one
+	// segment span was dropped, and the newest record always survives.
+	if after[len(after)-1].Seq != uint64(len(recs)-1) {
+		t.Fatalf("newest record lost: %d, want %d", after[len(after)-1].Seq, len(recs)-1)
+	}
+	t.Logf("age trim at %s: %d segments retired, %d records dropped, %d bytes reclaimed",
+		mid.UTC().Format(time.RFC3339), stats.SegmentsRetired, stats.RecordsDropped, stats.BytesReclaimed)
+}
