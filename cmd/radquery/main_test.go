@@ -9,14 +9,8 @@ import (
 	"rad"
 )
 
-// buildStore persists a small hand-made campaign and returns its directory.
-func buildStore(t *testing.T) string {
-	t.Helper()
-	dir := t.TempDir()
-	db, err := rad.OpenTraceDB(dir, rad.TraceDBOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
+// buildRecords returns the small hand-made campaign the CLI tests query.
+func buildRecords() []rad.TraceRecord {
 	base := time.Date(2022, 3, 1, 9, 0, 0, 0, time.UTC)
 	var recs []rad.TraceRecord
 	for i := 0; i < 40; i++ {
@@ -33,7 +27,18 @@ func buildStore(t *testing.T) string {
 		}
 		recs = append(recs, r)
 	}
-	if err := db.AppendBatch(recs); err != nil {
+	return recs
+}
+
+// buildStore persists the campaign and returns its directory.
+func buildStore(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := rad.OpenTraceDB(dir, rad.TraceDBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AppendBatch(buildRecords()); err != nil {
 		t.Fatal(err)
 	}
 	if err := db.Close(); err != nil {
@@ -106,6 +111,80 @@ func TestQueryInfoCountRunsScan(t *testing.T) {
 	if len(fromCSV) != 5 {
 		t.Fatalf("windowed scan returned %d records, want 5 (limit)", len(fromCSV))
 	}
+}
+
+// TestQueryScanGoldenFormats pins the scan export bytes — header and
+// column order for CSV, field order and encoding for JSONL — so a
+// compaction-era record rewrite (or any future codec change) can never
+// reorder fields silently: downstream IDS pipelines parse these exports
+// positionally. The store is built twice, once as ingested and once
+// compacted, and both must render the identical golden bytes.
+func TestQueryScanGoldenFormats(t *testing.T) {
+	const goldenCSV = "seq,time,end_time,device,name,args,response,exception,procedure,run,mode\n" +
+		"0,2022-03-01T09:00:00Z,2022-03-01T09:00:00.003Z,Tecan,Q,,ok,,unknown procedure,,REMOTE\n" +
+		"1,2022-03-01T09:01:00Z,2022-03-01T09:01:00.003Z,C9,MVNG,,ok,,unknown procedure,,REMOTE\n"
+	const goldenJSONL = `{"seq":0,"time":"2022-03-01T09:00:00Z","endTime":"2022-03-01T09:00:00.003Z",` +
+		`"device":"Tecan","name":"Q","response":"ok","procedure":"unknown procedure","mode":"REMOTE"}` + "\n" +
+		`{"seq":1,"time":"2022-03-01T09:01:00Z","endTime":"2022-03-01T09:01:00.003Z",` +
+		`"device":"C9","name":"MVNG","response":"ok","procedure":"unknown procedure","mode":"REMOTE"}` + "\n"
+
+	// Chatty ingestion over tiny segments: the store is left as small-flush
+	// debris so the compaction leg below has real sources to rewrite.
+	dir := t.TempDir()
+	opts := rad.TraceDBOptions{SegmentBytes: 1 << 10}
+	db, err := rad.OpenTraceDB(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := buildRecords()
+	for i := 0; i < len(recs); i += 3 {
+		j := min(i+3, len(recs))
+		if err := db.AppendBatch(recs[i:j]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(label string) {
+		t.Helper()
+		var out bytes.Buffer
+		if err := run([]string{"-store", dir, "-mode", "scan", "-format", "csv", "-limit", "2"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.String() != goldenCSV {
+			t.Errorf("%s csv scan output changed:\n got: %q\nwant: %q", label, out.String(), goldenCSV)
+		}
+		out.Reset()
+		if err := run([]string{"-store", dir, "-mode", "scan", "-format", "jsonl", "-limit", "2"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.String() != goldenJSONL {
+			t.Errorf("%s jsonl scan output changed:\n got: %q\nwant: %q", label, out.String(), goldenJSONL)
+		}
+	}
+	check("ingested")
+
+	// Rewrite the store through the compactor and require byte-identical
+	// exports from the rebuilt blocks.
+	db, err = rad.OpenTraceDB(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := db.Compact()
+	if err != nil {
+		db.Close()
+		t.Fatal(err)
+	}
+	if stats.Compactions == 0 {
+		db.Close()
+		t.Fatal("compaction found nothing to rewrite; golden check would be vacuous")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	check("compacted")
 }
 
 func TestQueryCountByRunAndProcedure(t *testing.T) {

@@ -131,9 +131,15 @@ func (db *DB) compactOnce() (stats CompactStats, ok bool, err error) {
 			blocksIn += len(s.index.blocks)
 		}
 		// A run earns a rewrite when it merges files, or — for a lone
-		// fragmented segment — when re-blocking reduces the block count.
+		// plain segment — when re-blocking likely reduces the block count.
+		// A lone compacted segment is never re-selected: estOut derives
+		// from encoded bytes while the rewrite splits batches on the
+		// conservative recordSizeEstimate, so a fresh compactor output can
+		// keep both its block count and its range-derived file name —
+		// re-selecting it would livelock the maintenance loop and rename
+		// the rewrite over its own source.
 		estOut := int(payload/blockBytes) + 1
-		if len(run) >= 2 || blocksIn > estOut {
+		if len(run) >= 2 || (!run[0].compacted && blocksIn > estOut) {
 			srcs = run
 		} else {
 			i += len(run) - 1
@@ -158,6 +164,15 @@ func (db *DB) compactOnce() (stats CompactStats, ok bool, err error) {
 	// name, rebuilding tight posting lists and time bounds as we go.
 	lo, hi := srcs[0].id, srcs[len(srcs)-1].hi
 	finalPath := compactedPath(db.dir, lo, hi)
+	for _, s := range srcs {
+		if s.path == finalPath {
+			// Impossible by selection (only a multi-segment run can start
+			// with a compacted segment, and then hi exceeds its range), but
+			// renaming the output over a live source would unlink the fresh
+			// data when the source retires — refuse outright.
+			return stats, false, fmt.Errorf("tracedb: compaction output %s would overwrite its own source", finalPath)
+		}
+	}
 	tmpPath := finalPath + tmpSuffix
 	out, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {

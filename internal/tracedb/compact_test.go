@@ -522,6 +522,236 @@ func TestLifecycleInfo(t *testing.T) {
 	}
 }
 
+// TestCompactLoneCompactedNotReselected pins the livelock fix: with the
+// fragmentation threshold raised to the block target, every segment —
+// including a fresh compactor output — looks fragmented, and because the
+// rewrite splits batches on the conservative recordSizeEstimate the output
+// can keep the same block count (and the same range-derived file name) as
+// its input. A lone compacted segment must therefore never be selected
+// again: re-compacting it would loop forever under lcMu (deadlocking
+// Close) and rename the rewrite over its own source, unlinking the live
+// file when the source retires.
+func TestCompactLoneCompactedNotReselected(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		SegmentBytes: 16 << 10,
+		Lifecycle: LifecycleOptions{
+			CompactBlockBytes: 64 << 10,
+			CompactFragBytes:  64 << 10, // everything qualifies as fragmented
+		},
+	}
+	db, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	recs := lcRecords(1500, time.Unix(1000, 0))
+	ingestSmallBlocks(t, db, recs, 4)
+	want := canonical(t, collectAll(t, db))
+
+	type result struct {
+		stats CompactStats
+		err   error
+	}
+	run := func() result {
+		done := make(chan result, 1)
+		go func() {
+			stats, err := db.Compact()
+			done <- result{stats, err}
+		}()
+		select {
+		case r := <-done:
+			return r
+		case <-time.After(30 * time.Second):
+			t.Fatal("Compact livelocked re-selecting its own output")
+			panic("unreachable")
+		}
+	}
+	if r := run(); r.err != nil {
+		t.Fatal(r.err)
+	} else if r.stats.Compactions == 0 {
+		t.Fatal("first compaction pass did nothing")
+	}
+	// A second pass finds nothing: lone compacted survivors stay put.
+	if r := run(); r.err != nil {
+		t.Fatal(r.err)
+	} else if r.stats.Compactions != 0 {
+		t.Fatalf("lone compacted segment re-selected: %+v", r.stats)
+	}
+	if !bytes.Equal(want, canonical(t, collectAll(t, db))) {
+		t.Fatal("records changed across compaction passes")
+	}
+
+	// Durability: nothing was renamed over a live source, so a reopen sees
+	// every record.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if !bytes.Equal(want, canonical(t, collectAll(t, db2))) {
+		t.Fatal("reopened store lost records after repeated compaction")
+	}
+}
+
+// TestRetainAgePrefixOnly: Record.Time is not monotonic across segments —
+// a replayed campaign can land old timestamps after new ones — so age
+// retention must stop at the first sealed segment inside the horizon
+// rather than carving expired segments out of the middle, which would tear
+// a sequence gap into the survivors.
+func TestRetainAgePrefixOnly(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Unix(1_000_000, 0)
+	clock := simclock.NewVirtual(base.Add(5000 * time.Second))
+	db, err := Open(dir, Options{
+		SegmentBytes: 16 << 10,
+		Clock:        clock,
+		Lifecycle:    LifecycleOptions{RetainMaxAge: 2000 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// First and last thirds sit past the horizon (base+3000s); the middle
+	// third is fresh. Only leading expired segments may be retired.
+	recs := lcRecords(2100, base)
+	for i := 700; i < 1400; i++ {
+		recs[i].Time = base.Add(4000 * time.Second)
+		recs[i].EndTime = recs[i].Time.Add(50 * time.Millisecond)
+	}
+	ingestSmallBlocks(t, db, recs, 4)
+
+	stats, err := db.Retain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SegmentsRetired == 0 {
+		t.Fatal("no leading expired segment retired")
+	}
+	after := collectAll(t, db)
+	if len(after) == 0 {
+		t.Fatal("retention dropped everything")
+	}
+	if got, want := after[len(after)-1].Seq, uint64(len(recs)-1); got != want {
+		t.Fatalf("newest record lost: tail seq %d, want %d", got, want)
+	}
+	for i := 1; i < len(after); i++ {
+		if after[i].Seq != after[i-1].Seq+1 {
+			t.Fatalf("age retention tore a seq gap: %d -> %d", after[i-1].Seq, after[i].Seq)
+		}
+	}
+}
+
+// TestRetainPersistsSeqFloor: retention that retires every record-bearing
+// segment while the active segment is empty (its tail was torn and
+// truncated on a prior open) must not let sequence numbering restart at
+// zero on reopen — the floor persisted at retirement time keeps seqs
+// strictly increasing across the store's whole history.
+func TestRetainPersistsSeqFloor(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Unix(1_000_000, 0)
+	db, err := Open(dir, Options{SegmentBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestSmallBlocks(t, db, lcRecords(1000, base), 4)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the active segment down to its bare header: its records are
+	// lost, so recovery's max surviving seq undershoots the true maximum.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	activePath := ""
+	maxID := -1
+	for _, e := range entries {
+		if lo, _, compacted, ok := parseSegmentName(e.Name()); ok && !compacted && lo > maxID {
+			maxID, activePath = lo, filepath.Join(dir, e.Name())
+		}
+	}
+	if err := os.Truncate(activePath, int64(len(segMagic))); err != nil {
+		t.Fatal(err)
+	}
+
+	clock := simclock.NewVirtual(base.Add(1_000_000 * time.Second))
+	db2, err := Open(dir, Options{
+		SegmentBytes: 16 << 10,
+		Clock:        clock,
+		Lifecycle:    LifecycleOptions{RetainMaxAge: time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	surviving := collectAll(t, db2)
+	if len(surviving) == 0 {
+		t.Fatal("truncation left nothing to retire")
+	}
+	wantSeq := surviving[len(surviving)-1].Seq + 1
+	stats, err := db2.Retain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RecordsDropped != len(surviving) {
+		t.Fatalf("retention dropped %d of %d records", stats.RecordsDropped, len(surviving))
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db3, err := Open(dir, Options{SegmentBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if err := db3.AppendBatch(lcRecords(1, base.Add(2_000_000*time.Second))); err != nil {
+		t.Fatal(err)
+	}
+	got := collectAll(t, db3)
+	if len(got) != 1 || got[0].Seq != wantSeq {
+		t.Fatalf("post-retention reopen assigned seq %d (%d records), want %d",
+			got[0].Seq, len(got), wantSeq)
+	}
+}
+
+// TestLifecycleInfoByteBudgetSealedOnly: the byte-policy reclaim estimate
+// mirrors Retain, which only ever retires sealed segments — a store whose
+// budget overage lives entirely in the active segment has nothing
+// reclaimable, and -mode info must say so.
+func TestLifecycleInfoByteBudgetSealedOnly(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{
+		Lifecycle: LifecycleOptions{RetainMaxBytes: 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// Default 4MB rotation: everything lands in the single active segment.
+	ingestSmallBlocks(t, db, lcRecords(500, time.Unix(1000, 0)), 10)
+	if db.Segments() != 1 {
+		t.Fatalf("expected a single active segment, have %d", db.Segments())
+	}
+	info := db.Lifecycle()
+	if info.LiveBytes <= 1024 {
+		t.Fatalf("store under budget: %d bytes", info.LiveBytes)
+	}
+	if info.ExpiredBytes != 0 {
+		t.Fatalf("ExpiredBytes = %d counts the untouchable active segment", info.ExpiredBytes)
+	}
+	stats, err := db.Retain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SegmentsRetired != 0 {
+		t.Fatalf("retention touched the active segment: %+v", stats)
+	}
+}
+
 func TestParseSegmentName(t *testing.T) {
 	cases := []struct {
 		name      string

@@ -102,13 +102,16 @@ type RetainStats struct {
 	Horizon time.Time
 }
 
-// Retain applies the configured retention policies: sealed segments whose
-// newest record is older than RetainMaxAge are retired whole, then the
-// oldest sealed segments are retired while the committed bytes exceed
-// RetainMaxBytes. The active segment is never touched, deletion is
-// whole-segment only (no partial rewrites), and retired files are unlinked
+// Retain applies the configured retention policies: the leading run of
+// sealed segments whose newest record is older than RetainMaxAge is
+// retired whole, then the oldest sealed segments are retired while the
+// committed bytes exceed RetainMaxBytes. The active segment is never
+// touched, deletion is whole-segment only (no partial rewrites), survivors
+// are always a contiguous sequence suffix, and retired files are unlinked
 // only after the last in-flight snapshot drains — a concurrent
-// snapshot-then-follow tail keeps reading the files it planned.
+// snapshot-then-follow tail keeps reading the files it planned. The
+// maximum retired sequence number is durably recorded (see persistSeqFloor)
+// before any segment is dropped, so numbering never regresses on reopen.
 func (db *DB) Retain() (RetainStats, error) {
 	db.lcMu.Lock()
 	defer db.lcMu.Unlock()
@@ -132,13 +135,22 @@ func (db *DB) Retain() (RetainStats, error) {
 	victim := make(map[*segment]bool)
 	sealed := db.segs[:len(db.segs)-1]
 	if hasAge {
+		// Age retirement takes only a prefix of the sealed segments,
+		// stopping at the first one with a record inside the horizon:
+		// Record.Time need not be monotonic across segments, and carving an
+		// expired segment out of the middle would tear a hole in the
+		// sequence order, breaking the gap-free survivor guarantee. Empty
+		// sealed segments hold no records, so reclaiming them within the
+		// prefix can never create a gap.
 		for _, s := range sealed {
 			if s.index.count == 0 {
+				victim[s] = true
 				continue
 			}
-			if _, maxN := s.index.timeSpan(); maxN < horizonN {
-				victim[s] = true
+			if _, maxN := s.index.timeSpan(); maxN >= horizonN {
+				break
 			}
+			victim[s] = true
 		}
 	}
 	if pol.RetainMaxBytes > 0 {
@@ -162,6 +174,24 @@ func (db *DB) Retain() (RetainStats, error) {
 	if len(victim) == 0 {
 		db.mu.Unlock()
 		return stats, nil
+	}
+	// Persist the sequence floor before the victims disappear: if retention
+	// retires every record-bearing segment while the active segment is
+	// empty, a reopen would otherwise restart numbering at zero, and
+	// stream.Tail's duplicate boundary plus any seq-keyed consumer would
+	// misclassify fresh records as already seen.
+	floor := db.seqFloor
+	for s := range victim {
+		if s.index.count > 0 && s.index.maxSeq+1 > floor {
+			floor = s.index.maxSeq + 1
+		}
+	}
+	if floor > db.seqFloor {
+		if err := persistSeqFloor(db.dir, floor); err != nil {
+			db.mu.Unlock()
+			return stats, err
+		}
+		db.seqFloor = floor
 	}
 	keep := make([]*segment, 0, len(db.segs)-len(victim))
 	var victims []*segment
@@ -284,16 +314,34 @@ func (db *DB) Lifecycle() LifecycleInfo {
 	db.mu.RLock()
 	info.Segments = len(db.segs)
 	var payloadSum int64
+	// sealedLeft holds the sizes, oldest first, of the sealed segments the
+	// age policy would not expire — the pool the byte budget draws from.
+	var sealedLeft []int64
+	agePrefix := pol.RetainMaxAge > 0
 	for si, s := range db.segs {
 		if s.compacted {
 			info.CompactedSegments++
 		}
 		info.Records += s.index.count
 		info.LiveBytes += s.size
-		sealed := si < len(db.segs)-1
-		if sealed && s.index.count > 0 && pol.RetainMaxAge > 0 {
-			if _, maxN := s.index.timeSpan(); maxN < horizonN {
+		if si < len(db.segs)-1 {
+			// Mirror Retain's age policy exactly: only a prefix of the
+			// sealed segments expires, stopping at the first one with a
+			// record inside the horizon.
+			expired := false
+			if agePrefix {
+				if s.index.count == 0 {
+					expired = true
+				} else if _, maxN := s.index.timeSpan(); maxN < horizonN {
+					expired = true
+				} else {
+					agePrefix = false
+				}
+			}
+			if expired {
 				info.ExpiredBytes += s.size
+			} else {
+				sealedLeft = append(sealedLeft, s.size)
 			}
 		}
 		for i := range s.index.blocks {
@@ -317,8 +365,18 @@ func (db *DB) Lifecycle() LifecycleInfo {
 		}
 	}
 	db.mu.RUnlock()
-	if pol.RetainMaxBytes > 0 && info.LiveBytes-info.ExpiredBytes > pol.RetainMaxBytes {
-		info.ExpiredBytes = info.LiveBytes - pol.RetainMaxBytes
+	// The byte budget retires whole sealed segments oldest-first and never
+	// touches the active segment; simulate exactly that, so the estimate
+	// never counts active-segment bytes Retain cannot reclaim.
+	if pol.RetainMaxBytes > 0 {
+		total := info.LiveBytes - info.ExpiredBytes
+		for _, sz := range sealedLeft {
+			if total <= pol.RetainMaxBytes {
+				break
+			}
+			info.ExpiredBytes += sz
+			total -= sz
+		}
 	}
 	if info.Blocks.Blocks > 0 {
 		info.Blocks.AvgBytes = payloadSum / int64(info.Blocks.Blocks)

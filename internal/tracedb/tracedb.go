@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -63,6 +64,7 @@ type DB struct {
 	pending  []store.Record // staged per-record appends, not yet in a block
 	encBuf   []byte         // reusable payload encode buffer (writer-only)
 	nextSeq  uint64
+	seqFloor uint64 // persisted lower bound for nextSeq (see Retain)
 	closed   bool
 	onCommit func(recs []store.Record)
 
@@ -152,12 +154,62 @@ func recoverDirEntries(dir string) ([]segFile, error) {
 	return kept, nil
 }
 
+// seqFloorFile is the sidecar recording the lowest sequence number the next
+// Open may assign: retention writes it before retiring segments so that
+// dropping every record-bearing segment can never rewind the numbering.
+const seqFloorFile = "seqfloor"
+
+// loadSeqFloor reads the persisted sequence floor; a missing or unreadable
+// file means no retention has ever retired records (floor zero).
+func loadSeqFloor(dir string) uint64 {
+	b, err := os.ReadFile(filepath.Join(dir, seqFloorFile))
+	if err != nil {
+		return 0
+	}
+	floor, err := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return floor
+}
+
+// persistSeqFloor durably installs a new sequence floor (tmp + fsync +
+// rename + directory sync, like a compacted segment). Retention calls it
+// before any victim segment is dropped, so a crash at any point leaves
+// either the old floor with the victims intact or the new floor — never a
+// store that re-issues retired sequence numbers.
+func persistSeqFloor(dir string, floor uint64) error {
+	path := filepath.Join(dir, seqFloorFile)
+	tmp := path + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("tracedb: create seq floor: %w", err)
+	}
+	if _, err = fmt.Fprintf(f, "%d\n", floor); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tracedb: write seq floor: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tracedb: install seq floor: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
 // Open opens (or creates) the store in dir, recovering every segment:
 // half-finished compaction temps are discarded, segments superseded by a
 // completed compaction are dropped, blocks are CRC-verified in parallel
 // across segments, a torn tail is truncated, and sequence numbering resumes
-// after the highest recovered record. When Options.Lifecycle.Interval is
-// set, the background maintenance loop starts immediately.
+// after the highest recovered record — never below the floor persisted by
+// retention. When Options.Lifecycle.Interval is set, the background
+// maintenance loop starts immediately.
 func Open(dir string, opts Options) (*DB, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = DefaultSegmentBytes
@@ -194,6 +246,13 @@ func Open(dir string, opts Options) (*DB, error) {
 		if s.index.count > 0 && s.index.maxSeq+1 > db.nextSeq {
 			db.nextSeq = s.index.maxSeq + 1
 		}
+	}
+	// Retention may have retired every record-bearing segment; the floor it
+	// persisted keeps sequence numbering monotonic across that plus a
+	// reopen (a regression would break every seq-deduplicating consumer).
+	db.seqFloor = loadSeqFloor(dir)
+	if db.seqFloor > db.nextSeq {
+		db.nextSeq = db.seqFloor
 	}
 	if len(db.segs) == 0 {
 		s, err := createSegment(dir, 0)
