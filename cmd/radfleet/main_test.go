@@ -14,7 +14,7 @@ func TestRadFleetCampaign(t *testing.T) {
 	err := run([]string{
 		"-tenants", "6", "-requests", "30", "-seed", "42",
 		"-dlq", t.TempDir(), "-per-tenant", "-verify",
-	}, &out)
+	}, &out, nil)
 	if err != nil {
 		t.Fatalf("campaign failed: %v\n%s", err, out.String())
 	}
@@ -43,7 +43,7 @@ func TestRadFleetCampaign(t *testing.T) {
 // TestRadFleetNoFaults runs the clean-path campaign (no DLQ, no chaos).
 func TestRadFleetNoFaults(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-tenants", "3", "-requests", "10", "-faults=false"}, &out); err != nil {
+	if err := run([]string{"-tenants", "3", "-requests", "10", "-faults=false"}, &out, nil); err != nil {
 		t.Fatalf("clean campaign failed: %v\n%s", err, out.String())
 	}
 	if strings.Contains(out.String(), "dead letters") {
@@ -53,7 +53,7 @@ func TestRadFleetNoFaults(t *testing.T) {
 
 func TestRadFleetBadFlags(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-tenants", "not-a-number"}, &out); err == nil {
+	if err := run([]string{"-tenants", "not-a-number"}, &out, nil); err == nil {
 		t.Fatal("bad flag accepted")
 	}
 }

@@ -8,7 +8,12 @@
 //
 //	radmiddlebox [-listen ADDR] [-store DIR] [-trace FILE.jsonl] [-csv FILE.csv] [-network lan|cloud|none] [-power] [-stream ADDR] [-proto auto|v1|v2] [-fleet [-tenants N]]
 //
-// Stop with SIGINT/SIGTERM; traces are flushed on shutdown. A -store
+// Stop with SIGINT/SIGTERM: the listeners drain gracefully — in-flight
+// execs finish, replies and subscriber rings flush, tenant stores sync —
+// within the -drain-timeout budget before stragglers are severed, and
+// traces are flushed on shutdown. -heartbeat pings v2 stream subscribers
+// and reaps the silent ones; -idle-timeout does the same for half-open
+// exec connections. A -store
 // directory survives crashes (torn tails are truncated on reopen) and is
 // queryable with radquery while the middlebox is down.
 //
@@ -28,6 +33,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -85,6 +91,9 @@ func run(args []string, stop <-chan struct{}) error {
 	compactEvery := fs.Duration("compact-every", 0, "background storage-lifecycle cadence for -store: retention then compaction each interval (0 disables)")
 	retainAge := fs.Duration("retain-age", 0, "retention: retire sealed -store segments older than this (0 keeps everything)")
 	retainBytes := fs.Int64("retain-bytes", 0, "retention: retire oldest sealed -store segments past this byte budget (0 is unlimited)")
+	heartbeat := fs.Duration("heartbeat", 0, "stream liveness: ping v2 subscribers at this interval and reap any that stop answering (0 disables)")
+	idleTimeout := fs.Duration("idle-timeout", 0, "reap exec connections idle past this deadline — half-open peers stop holding sockets and goroutines (0 disables)")
+	drainTimeout := fs.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget on SIGINT/SIGTERM: in-flight requests finish and subscriber rings flush before connections are severed (0 closes immediately)")
 	fleetMode := fs.Bool("fleet", false, "serve a multi-tenant fleet: tenant-tagged requests route to lazily-instantiated per-tenant labs; untagged peers keep reaching the default lab unchanged")
 	maxTenants := fs.Int("tenants", rad.FleetDefaultMaxTenants, "labs one -fleet listener will instantiate before refusing new tenant IDs")
 	if err := fs.Parse(args); err != nil {
@@ -309,6 +318,9 @@ func run(args []string, stop <-chan struct{}) error {
 		}
 		streamSrv = rad.NewStreamServer(broker, tdb)
 		streamSrv.SetProtocol(proto)
+		if *heartbeat > 0 {
+			streamSrv.SetHeartbeat(rad.StreamHeartbeat{Interval: *heartbeat})
+		}
 		if fleetRouter != nil {
 			streamSrv.SetTenantResolver(fleetRouter.ResolveStream)
 		}
@@ -361,6 +373,9 @@ func run(args []string, stop <-chan struct{}) error {
 
 	srv := rad.NewMiddleboxHandlerServer(handler, profile, *seed+6)
 	srv.SetProtocol(proto)
+	if *idleTimeout > 0 {
+		srv.SetIdleTimeout(*idleTimeout)
+	}
 	if reg != nil {
 		srv.Observe(reg)
 	}
@@ -380,7 +395,20 @@ func run(args []string, stop <-chan struct{}) error {
 	}
 	<-stop
 
-	if err := srv.Close(); err != nil {
+	// Graceful drain: one -drain-timeout budget shared by the exec
+	// listener, the stream listener, and the fleet router. In-flight execs
+	// finish and their replies flush, subscriber rings empty, and tenant
+	// stores sync; only stragglers past the budget are severed. A timeout
+	// degrades the shutdown, it does not fail it.
+	drainCtx := context.Background()
+	if *drainTimeout > 0 {
+		var cancel context.CancelFunc
+		drainCtx, cancel = context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Drain(drainCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "radmiddlebox: exec drain: %v (stragglers severed)\n", err)
+		}
+	} else if err := srv.Close(); err != nil {
 		return err
 	}
 	for _, f := range flushers {
@@ -415,7 +443,11 @@ func run(args []string, stop <-chan struct{}) error {
 			fst.PrimaryErrors, fst.SpilledBatches, fst.SpilledRecords, dlq.Dir())
 	}
 	if streamSrv != nil {
-		if err := streamSrv.Close(); err != nil {
+		if *drainTimeout > 0 {
+			if err := streamSrv.Drain(drainCtx); err != nil {
+				fmt.Fprintf(os.Stderr, "radmiddlebox: stream drain: %v (stragglers severed)\n", err)
+			}
+		} else if err := streamSrv.Close(); err != nil {
 			return err
 		}
 		fmt.Printf("stream: %d records published, %d subscribers at shutdown\n",
@@ -427,6 +459,13 @@ func run(args []string, stop <-chan struct{}) error {
 			}
 			fmt.Printf("  %-24s delivered %d, dropped %d, buffered %d/%d%s\n",
 				s.Name, s.Delivered, s.Dropped, s.Buffered, s.Capacity, lag)
+		}
+	}
+	if fleetRouter != nil && *drainTimeout > 0 {
+		// Tenant labs drain too: their brokers close and their stores sync
+		// before the deferred Close severs anything.
+		if err := fleetRouter.Drain(drainCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "radmiddlebox: fleet drain: %v\n", err)
 		}
 	}
 	if tdb != nil {

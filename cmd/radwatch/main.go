@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	radwatch -addr HOST:PORT [filters] [-snapshot] [-power] [-proto auto|v1|v2] [-format text|jsonl|csv] [-limit N]
+//	radwatch -addr HOST:PORT [filters] [-snapshot] [-power] [-reconnect] [-proto auto|v1|v2] [-format text|jsonl|csv] [-limit N]
 //	radwatch -addr HOST:PORT -ids -train TRACE.jsonl [-order N] [-window N] [-alerts FILE]
 //	radwatch -obs HOST:PORT [-interval DUR] [-limit N]
 //
@@ -15,6 +15,12 @@
 // telemetry endpoint (radmiddlebox -obs-addr): each poll fetches /snapshot
 // and pretty-prints the non-zero counters, gauges, and latency histograms
 // (count, mean, p50/p90/p99). -limit bounds the number of polls.
+//
+// A server that vanishes mid-tail makes radwatch exit nonzero with a
+// summary of what it saw (records, last seq, drops) — unless -reconnect is
+// set, in which case it redials with jittered exponential backoff and
+// resumes from the last delivered sequence number, deduplicated, across
+// any number of server restarts.
 //
 // Filters: -device, -key (Device.Name), -proc, -run. Overflow behaviour is
 // chosen with -policy drop-oldest|block and -buffer N; under drop-oldest the
@@ -64,6 +70,9 @@ func run(args []string, out io.Writer) error {
 	protoFlag := fs.String("proto", "auto", "wire protocol: auto (try v2 binary, fall back to v1 JSON), v1, or v2")
 	obsAddr := fs.String("obs", "", "middlebox telemetry address (-obs-addr): poll /snapshot and pretty-print metrics instead of tailing the stream")
 	interval := fs.Duration("interval", 2*time.Second, "obs: polling interval")
+	reconnect := fs.Bool("reconnect", false, "survive server restarts: redial with jittered exponential backoff and resume from the last delivered seq instead of exiting")
+	reconnectSeed := fs.Uint64("reconnect-seed", 1, "reconnect: seed for the backoff-jitter PRNG (reproducible redial schedules)")
+	idleTimeout := fs.Duration("idle-timeout", 0, "reconnect: treat a connection silent for this long as half-open and redial (pair with the server's heartbeat interval; 0 disables)")
 	idsMode := fs.Bool("ids", false, "run the online IDS over the stream instead of printing records")
 	train := fs.String("train", "", "ids: JSONL trace file of benign runs to train on")
 	order := fs.Int("order", 2, "ids: n-gram model order")
@@ -89,6 +98,18 @@ func run(args []string, out io.Writer) error {
 		Snapshot: *snapshot, Power: *withPower,
 		Policy: *policy, Buffer: *buffer,
 	}
+	dial := func() (eventSource, error) {
+		if *reconnect {
+			return rad.NewStreamResilientTail(rad.StreamResilientConfig{
+				Addr:        *addr,
+				Subscribe:   req,
+				Proto:       proto,
+				Seed:        *reconnectSeed,
+				IdleTimeout: *idleTimeout,
+			}), nil
+		}
+		return rad.DialStreamProto(*addr, req, proto)
+	}
 	if *idsMode {
 		if *train == "" {
 			return fmt.Errorf("-ids requires -train")
@@ -97,14 +118,23 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return watchIDS(out, *addr, req, proto, det, *window, *rules, *format, *limit)
+		return watchIDS(out, dial, det, *window, *rules, *format, *limit)
 	}
-	return watch(out, *addr, req, proto, *format, *limit)
+	return watch(out, dial, *format, *limit, *reconnect)
 }
 
-// watch prints the raw event stream.
-func watch(out io.Writer, addr string, req rad.StreamSubscribe, proto rad.WireProto, format string, limit int) error {
-	client, err := rad.DialStreamProto(addr, req, proto)
+// eventSource is what watch and watchIDS consume: a plain StreamClient or
+// an auto-reconnecting StreamResilientTail, chosen by -reconnect.
+type eventSource interface {
+	Recv() (rad.StreamWireEvent, error)
+	Close() error
+}
+
+// watch prints the raw event stream. Without -reconnect, a server that
+// vanishes mid-tail is an error: the watcher exits nonzero with a summary
+// of what it saw, so a supervising script knows the tail is incomplete.
+func watch(out io.Writer, dial func() (eventSource, error), format string, limit int, reconnect bool) error {
+	client, err := dial()
 	if err != nil {
 		return err
 	}
@@ -117,13 +147,17 @@ func watch(out io.Writer, addr string, req rad.StreamSubscribe, proto rad.WirePr
 	defer flush()
 
 	n := 0
+	var seen, lastSeq, drops uint64
 	for {
 		ev, err := client.Recv()
 		if err != nil {
-			if err == io.EOF {
+			if err == io.EOF && reconnect {
+				// Only the resilient tail returns io.EOF here, and only
+				// after Close: the watcher asked to stop, not the server.
 				return nil
 			}
-			return err
+			return fmt.Errorf("stream ended: %w (%d records seen, last seq %d, %d dropped)",
+				err, seen, lastSeq, drops)
 		}
 		switch ev.Kind {
 		case rad.StreamEventSnapshotEnd:
@@ -131,7 +165,15 @@ func watch(out io.Writer, addr string, req rad.StreamSubscribe, proto rad.WirePr
 				fmt.Fprintln(out, "--- snapshot complete, following live ---")
 			}
 			continue
+		case rad.StreamEventResumeGap:
+			if format == "text" {
+				fmt.Fprintf(out, "--- resume gap: %d records lost to retention, re-snapshotting ---\n", ev.Gap)
+			}
+			continue
 		case rad.StreamEventTrace:
+			seen++
+			lastSeq = ev.Record.Seq
+			drops += ev.Dropped
 			if err := print(*ev.Record, ev.Dropped); err != nil {
 				return err
 			}
@@ -224,7 +266,7 @@ func detectorFromRecords(recs []rad.TraceRecord, order int) (*rad.PerplexityDete
 }
 
 // watchIDS runs the online detector over the stream and emits alerts.
-func watchIDS(out io.Writer, addr string, req rad.StreamSubscribe, proto rad.WireProto, det *rad.PerplexityDetector,
+func watchIDS(out io.Writer, dial func() (eventSource, error), det *rad.PerplexityDetector,
 	window int, withRules bool, format string, limit int) error {
 	emit, flush, err := alertPrinter(out, format)
 	if err != nil {
@@ -246,7 +288,7 @@ func watchIDS(out io.Writer, addr string, req rad.StreamSubscribe, proto rad.Wir
 	}
 	fmt.Fprintf(os.Stderr, "radwatch: online IDS armed, window threshold %.3f\n", ids.Threshold())
 
-	client, err := rad.DialStreamProto(addr, req, proto)
+	client, err := dial()
 	if err != nil {
 		return err
 	}

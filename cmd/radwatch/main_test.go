@@ -175,3 +175,117 @@ func TestWatchRequiresAddr(t *testing.T) {
 		t.Fatal("-ids without -train accepted")
 	}
 }
+
+// TestWatchVanishedServerExitsNonzero: a server that dies mid-tail is an
+// error, not a silent exit 0 — the summary line reports what the watcher
+// saw so a supervising script knows the tail is incomplete.
+func TestWatchVanishedServerExitsNonzero(t *testing.T) {
+	broker := rad.NewBroker()
+	srv := rad.NewStreamServer(broker, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	go func() { done <- run([]string{"-addr", addr}, &out) }()
+
+	// Two records, then the server vanishes under the watcher.
+	waitForPublished(t, broker, func() {
+		broker.Publish(rad.TraceRecord{Seq: 0, Device: "C9", Name: "MVNG", Time: time.Unix(0, 0)})
+		broker.Publish(rad.TraceRecord{Seq: 1, Device: "C9", Name: "MVNG", Time: time.Unix(1, 0)})
+	})
+	srv.Close()
+	broker.Close()
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("watcher exited 0 after the server vanished mid-tail")
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "stream ended") || !strings.Contains(msg, "records seen") {
+			t.Fatalf("summary line missing from error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher never exited")
+	}
+}
+
+// waitForPublished runs publish once the watcher's subscription is live,
+// so the records cannot race the subscribe handshake.
+func waitForPublished(t *testing.T, broker *rad.Broker, publish func()) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(broker.Stats()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never subscribed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	publish()
+	// Give the ring a moment to flush to the client before the kill.
+	time.Sleep(50 * time.Millisecond)
+}
+
+// TestWatchReconnectSurvivesRestart: with -reconnect the watcher rides
+// through a listener restart and keeps printing, resuming its tail.
+func TestWatchReconnectSurvivesRestart(t *testing.T) {
+	db, err := rad.OpenTraceDB(t.TempDir(), rad.TraceDBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	broker := rad.NewBroker()
+	defer broker.Close()
+	broker.AttachStore(db)
+	srv := rad.NewStreamServer(broker, db)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		done <- run([]string{"-addr", addr, "-reconnect", "-snapshot", "-policy", "block", "-limit", "6"}, &out)
+	}()
+
+	appendN := func(n int) {
+		for i := 0; i < n; i++ {
+			if err := db.Append(rad.TraceRecord{Device: "C9", Name: "MVNG"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	appendN(3)
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv2 := rad.NewStreamServer(broker, db)
+	if _, err := srv2.Start(addr); err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	appendN(3)
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("reconnecting watcher failed: %v\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("reconnecting watcher never finished")
+	}
+	var traces int
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if strings.Contains(line, "C9.MVNG") {
+			traces++
+		}
+	}
+	if traces != 6 {
+		t.Fatalf("watcher printed %d trace lines, want 6:\n%s", traces, out.String())
+	}
+}

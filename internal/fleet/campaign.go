@@ -38,6 +38,9 @@ type Campaign struct {
 	cfg    CampaignConfig
 	Router *Router
 	labs   *sync.Map // tenant ID -> *campaignLab, for the heal/drain phase
+
+	stopOnce sync.Once
+	stop     chan struct{}
 }
 
 // CampaignConfig parameterizes a fleet campaign.
@@ -66,6 +69,7 @@ type CampaignConfig struct {
 // TenantResult is one lab's campaign outcome.
 type TenantResult struct {
 	ID       string
+	Stopped  bool   // storm cut short by Campaign.Stop (heal/drain still ran)
 	Requests int    // requests issued (device inits included)
 	Records  int    // records in the lab's store after DLQ drain
 	Lost     int    // Requests - Records (0 on success)
@@ -132,7 +136,14 @@ func TenantSeed(campaignSeed uint64, id string) uint64 {
 	return x
 }
 
-// NewCampaign builds the campaign and its router.
+// Stop asks every tenant driver to end its storm after the in-flight
+// request: the graceful-drain half of a SIGTERM. Drivers still heal their
+// labs, drain their dead-letter queues, and digest their records, so a
+// stopped campaign reports a complete (just shorter) result. Idempotent
+// and safe before/during/after Run.
+func (c *Campaign) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+}
 func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 	if cfg.Tenants <= 0 {
 		cfg.Tenants = 8
@@ -143,7 +154,7 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 	if cfg.Faults && cfg.DLQRoot == "" {
 		return nil, fmt.Errorf("fleet: campaign with faults needs a DLQRoot for the per-tenant dead-letter queues")
 	}
-	c := &Campaign{cfg: cfg}
+	c := &Campaign{cfg: cfg, stop: make(chan struct{})}
 	labs := &sync.Map{} // tenant ID -> *campaignLab
 	router, err := NewRouter(Config{
 		Factory:    func(id string) (*Resources, error) { return c.buildLab(id, labs) },
@@ -284,6 +295,18 @@ func (c *Campaign) runTenant(id string) TenantResult {
 
 	driver := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
 	for i := 0; i < c.cfg.Requests; i++ {
+		select {
+		case <-c.stop:
+			// Graceful drain: stop issuing new work, but fall through to the
+			// heal/DLQ-drain/digest phase so every request already issued is
+			// still accounted for — the zero-loss invariant holds over the
+			// shortened storm.
+			res.Stopped = true
+		default:
+		}
+		if res.Stopped {
+			break
+		}
 		name := campaignDevices[driver.IntN(len(campaignDevices))]
 		cmds := campaignCommands[name]
 		cmd := cmds[driver.IntN(len(cmds))]

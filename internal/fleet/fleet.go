@@ -15,6 +15,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -57,6 +58,9 @@ type Resources struct {
 	// DLQ, when set, is the tenant's dead-letter queue; the router exports
 	// its spill/drain counters under a tenant label.
 	DLQ *store.DeadLetterQueue
+	// Drain, when set, gracefully quiesces the lab (Router.Drain calls it
+	// before the default broker/DB flush).
+	Drain func(ctx context.Context) error
 	// Close, when set, tears the lab down (Router.Close calls it).
 	Close func() error
 }
@@ -306,6 +310,45 @@ func (r *Router) Snapshot() Stats {
 	})
 	sort.Slice(st.PerTenant, func(i, j int) bool { return st.PerTenant[i].ID < st.PerTenant[j].ID })
 	return st
+}
+
+// Drain gracefully quiesces every tenant: the tenant's own Drain hook when
+// it has one, else the default — close the lab's broker (detaching its
+// subscribers so their tails flush) and flush its trace store to disk.
+// Tenants are drained in walk order until ctx expires; the remainder are
+// skipped (Close still tears them down). Returns the first tenant error,
+// or ctx.Err() when the deadline cut the drain short.
+func (r *Router) Drain(ctx context.Context) error {
+	var first error
+	expired := false
+	r.walk(func(t *Tenant, res *Resources) {
+		if expired || ctx.Err() != nil {
+			expired = true
+			return
+		}
+		var err error
+		switch {
+		case res.Drain != nil:
+			err = res.Drain(ctx)
+		default:
+			if res.Broker != nil {
+				res.Broker.Close()
+			}
+			if res.DB != nil {
+				err = res.DB.Flush()
+			}
+		}
+		if err != nil && first == nil {
+			first = fmt.Errorf("fleet: drain tenant %s: %w", t.ID, err)
+		}
+	})
+	if first != nil {
+		return first
+	}
+	if expired {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // Close tears down every tenant that defined a Close, returning the first

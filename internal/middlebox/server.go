@@ -1,6 +1,7 @@
 package middlebox
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -91,6 +92,7 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	rng    *rand.Rand
 	closed bool
+	idle   time.Duration
 
 	wg sync.WaitGroup
 }
@@ -120,6 +122,14 @@ func (s *Server) SetProtocol(p wire.Proto) { s.proto = p }
 // Observe registers per-protocol wire metrics (frame counters,
 // encode/decode latency histograms) in reg. Call before Start.
 func (s *Server) Observe(reg *obs.Registry) { s.wireM = wire.NewMetrics(reg) }
+
+// SetIdleTimeout bounds how long a connection may sit between requests
+// before it is reaped. The exec protocol is strict request/reply, so a
+// peer that goes quiet past the deadline is either gone or half-open
+// (crashed without a FIN); without the deadline such a connection holds
+// its goroutine and socket until process exit. Zero (the default) never
+// times out. Call before Start.
+func (s *Server) SetIdleTimeout(d time.Duration) { s.idle = d }
 
 // Start listens on addr (e.g. "127.0.0.1:0") and begins serving in the
 // background. It returns the bound address.
@@ -176,9 +186,21 @@ func (s *Server) serveConn(conn net.Conn) {
 		return // dead or protocol-confused peer: drop the connection
 	}
 	for {
+		// The closed check and any deadline reset share the mutex with
+		// Drain, so a drain nudge (an expired read deadline) can never be
+		// overwritten by this connection's own idle deadline.
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		if s.idle > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.idle))
+		}
+		s.mu.Unlock()
 		var req wire.Request
 		if err := wc.ReadFrame(&req); err != nil {
-			return // EOF or a broken/odd frame: drop the connection
+			return // EOF, idle timeout, or a broken/odd frame: drop the connection
 		}
 		s.sleep(s.sampleDelay()) // inbound network
 		reply := s.core.Handle(req)
@@ -207,6 +229,7 @@ func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	ln := s.ln
+	s.ln = nil
 	for conn := range s.conns {
 		_ = conn.Close()
 	}
@@ -217,6 +240,47 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return err
+}
+
+// Drain is graceful shutdown: stop accepting, let every in-flight request
+// finish and its reply flush, then close. Idle connections are nudged with
+// an expired read deadline (which ends their blocked ReadFrame without
+// touching the write direction, so a reply mid-flight still goes out), and
+// the connection goroutines are awaited up to ctx's deadline, after which
+// the stragglers are severed Close-style and Drain returns ctx.Err()
+// without waiting further (a Handler stuck in user code cannot be
+// unblocked by a dead socket; like net/http's Shutdown, its goroutine is
+// abandoned to finish on its own). Returns nil when everything flushed in
+// time. Close afterwards is a harmless no-op that waits for any
+// stragglers.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.ln = nil
+	for conn := range s.conns {
+		_ = conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for conn := range s.conns {
+			_ = conn.Close()
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
 }
 
 // ensure interface-style usage stays honest.

@@ -1,11 +1,13 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"rad/internal/obs"
 	"rad/internal/store"
@@ -28,6 +30,7 @@ type Server struct {
 	proto    wire.Proto
 	wireM    *wire.Metrics
 	resolver TenantResolver // nil: single-tenant listener
+	hb       HeartbeatConfig
 
 	mu sync.Mutex
 	ln net.Listener
@@ -70,6 +73,35 @@ type TenantResolver func(tenant string) (*Broker, *tracedb.DB, error)
 // while untagged subscriptions keep flowing to the server's default
 // broker — a pre-fleet tailer needs no change. Call before Start.
 func (s *Server) SetTenantResolver(r TenantResolver) { s.resolver = r }
+
+// HeartbeatConfig parameterizes connection liveness supervision.
+type HeartbeatConfig struct {
+	// Interval between server → client pings. Zero disables heartbeats
+	// (the pre-liveness behaviour).
+	Interval time.Duration
+	// Timeout is the extra grace beyond Interval the server allows for the
+	// pong before declaring the connection half-open and reaping it;
+	// non-positive defaults to Interval.
+	Timeout time.Duration
+}
+
+// grace returns the effective pong deadline slack.
+func (hb HeartbeatConfig) grace() time.Duration {
+	if hb.Timeout > 0 {
+		return hb.Timeout
+	}
+	return hb.Interval
+}
+
+// SetHeartbeat enables liveness probing of tail connections: every
+// Interval the server pings, and a connection that fails to pong within
+// Interval+Timeout is reaped — its subscriber detached, its metrics
+// unregistered, its goroutines collected — instead of holding a slot until
+// the next write discovers the corpse. Only v2 peers are probed; the v1
+// protocol has no control frames, so v1 connections keep the
+// read-anything-means-dead watcher (and die on the next write, as they
+// always have). Call before Start.
+func (s *Server) SetHeartbeat(hb HeartbeatConfig) { s.hb = hb }
 
 // Start listens on addr (e.g. "127.0.0.1:0") and serves in the background,
 // returning the bound address.
@@ -155,15 +187,39 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
-	if req.Snapshot && db == nil {
+	if (req.Snapshot || req.ResumeFrom > 0) && db == nil {
 		_ = wc.WriteFrame(wire.Event{Kind: wire.EventError,
 			Error: "stream: snapshot requested but the middlebox has no persistent store"})
 		return
 	}
 	opts := subOptions(req, conn)
+	tc := &tailConn{wc: wc}
 
+	if req.ResumeFrom > 0 {
+		// Exactly-once resume: replay [ResumeFrom, now) from the store via
+		// snapshot-then-follow, pushing the seq predicate down into both the
+		// snapshot scan and the live-feed filter. The store head and the
+		// retention floor bound what is replayable.
+		if head := db.NextSeq(); req.ResumeFrom > head {
+			_ = tc.write(wire.Event{Kind: wire.EventError,
+				Error: fmt.Sprintf("stream: resume from seq %d is beyond the store head %d", req.ResumeFrom, head)})
+			return
+		}
+		if floor := db.SeqFloor(); req.ResumeFrom < floor {
+			// The resume point predates retention: say exactly how many
+			// records are unrecoverable, then degrade to a full snapshot of
+			// what the store still holds.
+			if tc.write(wire.Event{Kind: wire.EventResumeGap, Gap: floor - req.ResumeFrom}) != nil {
+				return
+			}
+		} else {
+			opts.Filter.MinSeq = req.ResumeFrom
+		}
+		s.serveTail(conn, wc, tc, broker, db, opts)
+		return
+	}
 	if req.Snapshot {
-		s.serveTail(conn, wc, broker, db, opts)
+		s.serveTail(conn, wc, tc, broker, db, opts)
 		return
 	}
 	sub := broker.Subscribe(opts)
@@ -172,8 +228,38 @@ func (s *Server) serveConn(conn net.Conn) {
 		return
 	}
 	defer s.untrack(conn, sub)
+	s.supervise(conn, wc, tc, sub)
+	s.pump(tc, sub, 0)
+}
+
+// tailConn serializes writes to one tail connection. A wire.Conn is not
+// safe for concurrent use of the same direction, and with heartbeats the
+// write direction gains a second writer: the pinger goroutine interleaving
+// control frames with the pump's events.
+type tailConn struct {
+	mu sync.Mutex
+	wc *wire.Conn
+}
+
+func (tc *tailConn) write(v any) error {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.wc.WriteFrame(v)
+}
+
+// supervise watches one subscribed connection for death. A v2 peer under a
+// heartbeat regime is actively probed: pings every interval, a read
+// deadline covering the expected pong, and reaping on the first missed
+// deadline — which detects a half-open connection (peer gone, TCP none the
+// wiser) that would otherwise leak the subscriber and its goroutines until
+// the next write. v1 peers, whose protocol has no control frames, keep the
+// passive watcher: any read completing means the conversation is over.
+func (s *Server) supervise(conn net.Conn, wc *wire.Conn, tc *tailConn, sub *Subscriber) {
+	if wc.Version() == wire.V2 && s.hb.Interval > 0 {
+		s.superviseHeartbeat(conn, wc, tc, sub)
+		return
+	}
 	s.watchConn(conn, sub)
-	s.pump(wc, sub, 0)
 }
 
 // watchConn closes sub as soon as the client's connection dies. The tail
@@ -193,27 +279,72 @@ func (s *Server) watchConn(conn net.Conn, sub *Subscriber) {
 	}()
 }
 
+// superviseHeartbeat runs the active liveness pair for one v2 connection:
+// a pinger writing probes every interval and a reader that demands each
+// pong inside interval+grace. Either side failing reaps the subscriber at
+// that moment — the reap point where the ring detaches and (through
+// detach) its per-subscriber obs metrics unregister.
+func (s *Server) superviseHeartbeat(conn net.Conn, wc *wire.Conn, tc *tailConn, sub *Subscriber) {
+	hb := s.hb
+	deadline := hb.Interval + hb.grace()
+	done := make(chan struct{})
+	s.wg.Add(2)
+	go func() { // reader: the client's only legal frames after Subscribe are pongs
+		defer s.wg.Done()
+		defer close(done)
+		defer sub.Close()
+		for {
+			_ = conn.SetReadDeadline(time.Now().Add(deadline))
+			var pong wire.Pong
+			if err := wc.ReadFrame(&pong); err != nil {
+				return // timeout (half-open), EOF, or a protocol violation
+			}
+		}
+	}()
+	go func() { // pinger
+		defer s.wg.Done()
+		t := time.NewTicker(hb.Interval)
+		defer t.Stop()
+		var seq uint64
+		for {
+			select {
+			case <-t.C:
+				seq++
+				if tc.write(&wire.Ping{Seq: seq}) != nil {
+					sub.Close()
+					return
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
 // serveTail runs the snapshot-then-follow protocol: history, the
 // snapshot-end marker, then the live feed — against the resolved tenant's
 // broker and store.
-func (s *Server) serveTail(conn net.Conn, wc *wire.Conn, broker *Broker, db *tracedb.DB, opts SubOptions) {
+func (s *Server) serveTail(conn net.Conn, wc *wire.Conn, tc *tailConn, broker *Broker, db *tracedb.DB, opts SubOptions) {
 	tail := broker.Tail(db, opts)
+	// Close the whole tail, not just its subscriber: a client that dies
+	// mid-snapshot abandons the iterator, and an unreleased iterator pins
+	// segment files the lifecycle engine has retired.
+	defer tail.Close()
 	if !s.track(conn, tail.Subscriber()) {
-		tail.Close()
 		return
 	}
 	defer s.untrack(conn, tail.Subscriber())
-	s.watchConn(conn, tail.Subscriber())
+	s.supervise(conn, wc, tc, tail.Subscriber())
 
 	err := tail.Snapshot(func(r store.Record) error {
 		rec := r
-		return wc.WriteFrame(wire.Event{Kind: wire.EventTrace, Record: &rec})
+		return tc.write(wire.Event{Kind: wire.EventTrace, Record: &rec})
 	})
 	if err != nil {
-		_ = wc.WriteFrame(wire.Event{Kind: wire.EventError, Error: err.Error()})
+		_ = tc.write(wire.Event{Kind: wire.EventError, Error: err.Error()})
 		return
 	}
-	if wc.WriteFrame(wire.Event{Kind: wire.EventSnapshotEnd}) != nil {
+	if tc.write(wire.Event{Kind: wire.EventSnapshotEnd}) != nil {
 		return
 	}
 	var reported uint64
@@ -222,7 +353,7 @@ func (s *Server) serveTail(conn net.Conn, wc *wire.Conn, broker *Broker, db *tra
 		if !ok {
 			return
 		}
-		if s.writeEvent(wc, ev, tail.Subscriber(), &reported) != nil {
+		if s.writeEvent(tc, ev, tail.Subscriber(), &reported) != nil {
 			return
 		}
 	}
@@ -230,13 +361,13 @@ func (s *Server) serveTail(conn net.Conn, wc *wire.Conn, broker *Broker, db *tra
 
 // pump forwards live events until the client disconnects or the subscriber
 // closes.
-func (s *Server) pump(wc *wire.Conn, sub *Subscriber, reportedDrops uint64) {
+func (s *Server) pump(tc *tailConn, sub *Subscriber, reportedDrops uint64) {
 	for {
 		ev, ok := sub.Recv()
 		if !ok {
 			return
 		}
-		if s.writeEvent(wc, ev, sub, &reportedDrops) != nil {
+		if s.writeEvent(tc, ev, sub, &reportedDrops) != nil {
 			return
 		}
 	}
@@ -244,7 +375,7 @@ func (s *Server) pump(wc *wire.Conn, sub *Subscriber, reportedDrops uint64) {
 
 // writeEvent frames one event, attaching the number of events shed since the
 // previous frame so the client's drop accounting stays exact.
-func (s *Server) writeEvent(wc *wire.Conn, ev Event, sub *Subscriber, reported *uint64) error {
+func (s *Server) writeEvent(tc *tailConn, ev Event, sub *Subscriber, reported *uint64) error {
 	frame := wire.Event{}
 	switch ev.Kind {
 	case KindTrace:
@@ -262,7 +393,7 @@ func (s *Server) writeEvent(wc *wire.Conn, ev Event, sub *Subscriber, reported *
 		frame.Dropped = dropped - *reported
 		*reported = dropped
 	}
-	return wc.WriteFrame(frame)
+	return tc.write(frame)
 }
 
 // track registers a connection's subscriber for shutdown; it reports false
@@ -290,6 +421,7 @@ func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	ln := s.ln
+	s.ln = nil
 	for conn, sub := range s.conns {
 		if sub != nil {
 			sub.Close() // unblocks Recv
@@ -305,6 +437,50 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return err
+}
+
+// Drain is graceful shutdown: stop accepting, detach every subscriber from
+// its broker (no new events enter the rings), let each pump flush its
+// already-buffered events to its client, and wait for the connection
+// goroutines — up to ctx's deadline, after which the remaining connections
+// are severed Close-style. It returns nil when every tail flushed in time,
+// ctx.Err() otherwise. Close afterwards is a harmless no-op.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.ln = nil
+	for conn, sub := range s.conns {
+		if sub != nil {
+			// Detaching (not severing) lets Recv drain the ring: the pump
+			// writes out the buffered backlog, then exits on ring empty.
+			sub.Close()
+		} else {
+			// Still negotiating: nothing buffered to flush.
+			_ = conn.Close()
+		}
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for conn := range s.conns {
+			_ = conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
 }
 
 // subOptions maps a validated Subscribe frame onto broker options.
@@ -330,11 +506,23 @@ func subOptions(req wire.Subscribe, conn net.Conn) SubOptions {
 	return opts
 }
 
+// SubscribeError is a subscription failure the server reported explicitly
+// (an EventError frame): the request itself was refused — bad tenant,
+// missing store, resume point beyond the head. It is permanent for the
+// request as sent, which is how ResilientTail tells "redial the same
+// subscription" from "this subscription will never work".
+type SubscribeError struct {
+	Msg string
+}
+
+func (e *SubscribeError) Error() string { return "stream: subscription failed: " + e.Msg }
+
 // Client is the tail-consumer side: it dials a stream listener, sends the
 // Subscribe frame, and decodes Event frames.
 type Client struct {
 	conn net.Conn
 	wc   *wire.Conn
+	idle time.Duration
 }
 
 // Dial connects to a stream listener over the v1 JSON protocol and
@@ -362,17 +550,40 @@ func DialProto(addr string, req wire.Subscribe, proto wire.Proto) (*Client, erro
 // Protocol reports the wire protocol version the subscription negotiated.
 func (c *Client) Protocol() wire.Version { return c.wc.Version() }
 
-// Recv reads the next event frame. A server-reported subscription failure
-// is surfaced as an error; io.EOF means the server closed the stream.
+// SetIdleTimeout bounds how long Recv will wait for any frame from the
+// server before reporting the connection dead. Against a heartbeating
+// server (set it comfortably above the ping interval) this is the client
+// half of liveness: a half-open connection surfaces as a timeout error
+// instead of a Recv that blocks forever. Zero (the default) never times
+// out.
+func (c *Client) SetIdleTimeout(d time.Duration) { c.idle = d }
+
+// Recv reads the next event frame, transparently answering the server's
+// liveness pings. A server-reported subscription failure is surfaced as a
+// *SubscribeError; io.EOF means the server closed the stream.
 func (c *Client) Recv() (wire.Event, error) {
-	var ev wire.Event
-	if err := c.wc.ReadFrame(&ev); err != nil {
-		return wire.Event{}, err
+	for {
+		if c.idle > 0 {
+			_ = c.conn.SetReadDeadline(time.Now().Add(c.idle))
+		}
+		var tf wire.TailFrame
+		if err := c.wc.ReadFrame(&tf); err != nil {
+			return wire.Event{}, err
+		}
+		if tf.Ping != nil {
+			// Recv is the connection's only reader and (post-subscribe) only
+			// writer, so the pong needs no extra synchronization.
+			if err := c.wc.WriteFrame(&wire.Pong{Seq: tf.Ping.Seq}); err != nil {
+				return wire.Event{}, err
+			}
+			continue
+		}
+		ev := *tf.Event
+		if ev.Kind == wire.EventError {
+			return wire.Event{}, &SubscribeError{Msg: ev.Error}
+		}
+		return ev, nil
 	}
-	if ev.Kind == wire.EventError {
-		return wire.Event{}, fmt.Errorf("stream: subscription failed: %s", ev.Error)
-	}
-	return ev, nil
 }
 
 // Close terminates the subscription by closing the connection.

@@ -26,6 +26,8 @@ type blockMeta struct {
 	count      int32
 	minTimeN   int64 // min/max Record.Time over the block, UnixNano
 	maxTimeN   int64
+	minSeq     uint64 // min/max Record.Seq over the block, for resume scans
+	maxSeq     uint64
 
 	pure       uint8 // pure* bits; sole* is meaningful only when its bit is set
 	soleDevice string
@@ -40,6 +42,9 @@ type blockMeta struct {
 // without re-running Query.Match per record.
 func (m *blockMeta) covers(q Query, fromN, toN int64) bool {
 	if m.minTimeN < fromN || m.maxTimeN > toN {
+		return false
+	}
+	if m.minSeq < q.MinSeq {
 		return false
 	}
 	if q.Device != "" && (m.pure&pureDevice == 0 || m.soleDevice != q.Device) {
@@ -100,6 +105,7 @@ func (ix *segmentIndex) addBlock(off int64, payloadLen int, crc uint32, recs []s
 		key := r.Key()
 		if i == 0 {
 			m.minTimeN, m.maxTimeN = n, n
+			m.minSeq, m.maxSeq = r.Seq, r.Seq
 			m.pure = pureDevice | pureKey | pureRun | pureProc
 			m.soleDevice, m.soleKey, m.soleRun, m.soleProc = r.Device, key, r.Run, r.Procedure
 		} else {
@@ -108,6 +114,12 @@ func (ix *segmentIndex) addBlock(off int64, payloadLen int, crc uint32, recs []s
 			}
 			if n > m.maxTimeN {
 				m.maxTimeN = n
+			}
+			if r.Seq < m.minSeq {
+				m.minSeq = r.Seq
+			}
+			if r.Seq > m.maxSeq {
+				m.maxSeq = r.Seq
 			}
 			if m.soleDevice != r.Device {
 				m.pure &^= pureDevice

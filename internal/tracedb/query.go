@@ -20,12 +20,20 @@ type Query struct {
 	Key       string // command type, Record.Key() = "Device.Name"
 	Procedure string
 	Run       string
+	// MinSeq restricts the result to records with Seq >= MinSeq — the
+	// resume predicate of a reconnecting tail (stream.Server replays
+	// [MinSeq, now) from the store). Zero (sequence numbers start at zero)
+	// excludes nothing, keeping the zero Query's match-everything contract.
+	MinSeq uint64
 }
 
 // Match reports whether r satisfies the query — the same predicate the
 // indexed scan applies, exported so in-memory stores can run the identical
 // filter (the query-parity contract with store.MemStore).
 func (q Query) Match(r store.Record) bool {
+	if r.Seq < q.MinSeq {
+		return false
+	}
 	if q.Device != "" && r.Device != q.Device {
 		return false
 	}
@@ -81,6 +89,11 @@ type segPlan struct {
 // coverage. driver is the driving field ("scan" when no filter applies,
 // "" when the segment is pruned wholesale).
 func planSegment(ix *segmentIndex, q Query, fromN, toN int64) (blocks []blockMeta, covered []bool, driver string) {
+	if q.MinSeq > 0 && ix.maxSeq < q.MinSeq {
+		// Sequence numbers are monotone across the store, so a resume scan
+		// prunes every segment sealed before the resume point wholesale.
+		return nil, nil, ""
+	}
 	lists, ok := ix.postingLists(q)
 	if !ok {
 		return nil, nil, ""
@@ -88,6 +101,9 @@ func planSegment(ix *segmentIndex, q Query, fromN, toN int64) (blocks []blockMet
 	emit := func(bi int32) {
 		m := ix.blocks[bi]
 		if m.maxTimeN < fromN || m.minTimeN > toN {
+			return
+		}
+		if m.maxSeq < q.MinSeq {
 			return
 		}
 		blocks = append(blocks, m)

@@ -497,3 +497,22 @@ func (db *DB) Segments() int {
 	defer db.mu.RUnlock()
 	return len(db.segs)
 }
+
+// NextSeq returns the sequence number the next appended record will be
+// assigned — one past the newest record, the exclusive upper bound of what
+// a resume scan can replay.
+func (db *DB) NextSeq() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.nextSeq
+}
+
+// SeqFloor returns the persisted retention floor: every record with a
+// lower sequence number has been (or may have been) discarded by Retain,
+// so a resume from below it cannot be honored exactly (see
+// wire.EventResumeGap).
+func (db *DB) SeqFloor() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.seqFloor
+}

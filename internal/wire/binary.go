@@ -53,6 +53,8 @@ const (
 	binReply
 	binSubscribe
 	binEvent
+	binPing
+	binPong
 )
 
 // Request field tags.
@@ -91,6 +93,7 @@ const (
 	subPolicy
 	subBuffer
 	subTenant
+	subResume
 )
 
 // Event field tags.
@@ -100,6 +103,12 @@ const (
 	evSample
 	evDropped
 	evError
+	evGap
+)
+
+// Ping/Pong field tags (both frames share the one-field shape).
+const (
+	pingSeq byte = iota + 1
 )
 
 // store.Record field tags (nested inside an Event).
@@ -130,7 +139,7 @@ var internTable = buildInternTable()
 func buildInternTable() map[string]string {
 	words := []string{
 		string(OpExec), string(OpTrace), string(OpPing), string(OpSubscribe),
-		EventTrace, EventPower, EventSnapshotEnd, EventError,
+		EventTrace, EventPower, EventSnapshotEnd, EventError, EventResumeGap,
 		PolicyDropOldest, PolicyBlock,
 		"DIRECT", "REMOTE",
 		store.UnknownProcedure,
@@ -321,6 +330,7 @@ func appendSubscribe(b []byte, s *Subscribe) []byte {
 	b = putStr(b, subPolicy, s.Policy)
 	b = putInt(b, subBuffer, int64(s.Buffer))
 	b = putStr(b, subTenant, s.Tenant)
+	b = putUint(b, subResume, s.ResumeFrom)
 	return b
 }
 
@@ -337,7 +347,15 @@ func appendEvent(b []byte, e *Event) []byte {
 	}
 	b = putUint(b, evDropped, e.Dropped)
 	b = putStr(b, evError, e.Error)
+	b = putUint(b, evGap, e.Gap)
 	return b
+}
+
+// appendPingPong encodes a Ping or Pong: the type byte plus the (omitted
+// when zero) sequence field.
+func appendPingPong(b []byte, typ byte, seq uint64) []byte {
+	b = append(b, typ)
+	return putUint(b, pingSeq, seq)
 }
 
 // appendRecordBody encodes a nested record: its tagged fields followed by
@@ -389,6 +407,14 @@ func appendBinaryFrame(dst []byte, v any) ([]byte, error) {
 		return appendEvent(dst, f), nil
 	case Event:
 		return appendEvent(dst, &f), nil
+	case *Ping:
+		return appendPingPong(dst, binPing, f.Seq), nil
+	case Ping:
+		return appendPingPong(dst, binPing, f.Seq), nil
+	case *Pong:
+		return appendPingPong(dst, binPong, f.Seq), nil
+	case Pong:
+		return appendPingPong(dst, binPong, f.Seq), nil
 	default:
 		return dst, fmt.Errorf("wire: binary codec cannot encode %T", v)
 	}
@@ -634,6 +660,8 @@ func decodeSubscribe(r *breader, s *Subscribe) {
 			s.Buffer = int(r.varint())
 		case subTenant:
 			s.Tenant = r.vocabStr()
+		case subResume:
+			s.ResumeFrom = r.uvarint()
 		default:
 			r.fail("subscribe: unknown field tag %d", t)
 			return
@@ -664,6 +692,8 @@ func decodeEvent(r *breader, e *Event) {
 			e.Dropped = r.uvarint()
 		case evError:
 			e.Error = r.str()
+		case evGap:
+			e.Gap = r.uvarint()
 		default:
 			r.fail("event: unknown field tag %d", t)
 			return
@@ -705,6 +735,25 @@ func decodeRecordBody(r *breader, rec *store.Record) {
 			rec.Mode = r.str()
 		default:
 			r.fail("record: unknown field tag %d", t)
+			return
+		}
+		if r.err != nil {
+			return
+		}
+	}
+}
+
+// decodePingPong reads the shared Ping/Pong field stream into seq.
+func decodePingPong(r *breader, what string, seq *uint64) {
+	*seq = 0
+	for {
+		switch t := r.tag(); t {
+		case 0:
+			return
+		case pingSeq:
+			*seq = r.uvarint()
+		default:
+			r.fail("%s: unknown field tag %d", what, t)
 			return
 		}
 		if r.err != nil {
@@ -773,6 +822,30 @@ func decodeBinaryFrameVocab(payload []byte, v any, vocab *connVocab) error {
 			return fmt.Errorf("wire: binary frame type %#02x, want event (%#02x)", typ, binEvent)
 		}
 		decodeEvent(r, dst)
+	case *Ping:
+		if typ != binPing {
+			return fmt.Errorf("wire: binary frame type %#02x, want ping (%#02x)", typ, binPing)
+		}
+		decodePingPong(r, "ping", &dst.Seq)
+	case *Pong:
+		if typ != binPong {
+			return fmt.Errorf("wire: binary frame type %#02x, want pong (%#02x)", typ, binPong)
+		}
+		decodePingPong(r, "pong", &dst.Seq)
+	case *TailFrame:
+		// The tail direction is a union: data events interleaved with
+		// liveness pings, discriminated by the frame type byte.
+		*dst = TailFrame{}
+		switch typ {
+		case binEvent:
+			dst.Event = new(Event)
+			decodeEvent(r, dst.Event)
+		case binPing:
+			dst.Ping = new(Ping)
+			decodePingPong(r, "ping", &dst.Ping.Seq)
+		default:
+			return fmt.Errorf("wire: binary frame type %#02x, want event (%#02x) or ping (%#02x)", typ, binEvent, binPing)
+		}
 	default:
 		return fmt.Errorf("wire: binary codec cannot decode into %T", v)
 	}

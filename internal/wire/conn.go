@@ -254,6 +254,16 @@ func (c *Conn) ReadFrame(v any) error {
 	if c.version == V2 {
 		return c.readV2(v)
 	}
+	if tf, ok := v.(*TailFrame); ok {
+		// v1 predates the liveness protocol, so the tail direction carries
+		// only events: the union degrades to its event arm.
+		ev := new(Event)
+		if err := c.readV1(ev); err != nil {
+			return err
+		}
+		*tf = TailFrame{Event: ev}
+		return nil
+	}
 	return c.readV1(v)
 }
 
@@ -262,6 +272,12 @@ func (c *Conn) ReadFrame(v any) error {
 func (c *Conn) WriteFrame(v any) error {
 	if c.version == V2 {
 		return c.writeV2(v)
+	}
+	switch v.(type) {
+	case *Ping, Ping, *Pong, Pong:
+		// Refused rather than marshalled: a v1 peer would decode the JSON
+		// into a kind-less Event and silently misread the probe.
+		return fmt.Errorf("wire: %T is a v2 control frame; v1 connections have no liveness protocol", v)
 	}
 	return c.writeV1(v)
 }

@@ -106,6 +106,81 @@ func FuzzSubscribeFrame(f *testing.F) {
 	})
 }
 
+// FuzzSubscribeResumeFrame hardens the exactly-once resume path end to end:
+// a Subscribe carrying any ResumeFrom value must round-trip to exactly
+// itself on both protocol versions (including the zero value, which older
+// peers never emit and must decode as "no resume"), and arbitrary bytes
+// decoded as a resume subscription must never panic — whatever decodes
+// either fails Validate or is safe for the server to plan a replay from.
+func FuzzSubscribeResumeFrame(f *testing.F) {
+	f.Add(uint64(0), "watch", false, []byte{})
+	f.Add(uint64(1), "resume", true, []byte("garbage"))
+	f.Add(uint64(1)<<32, "", false, []byte{0x03, binSubscribe, subResume, 0xff})
+	f.Add(^uint64(0), "max", true, []byte{0x02, binSubscribe, subResume})
+	var v2valid bytes.Buffer
+	_ = NewConn(&v2valid, V2, nil).WriteFrame(Subscribe{Op: OpSubscribe, Name: "w", ResumeFrom: 7})
+	f.Add(uint64(7), "w", false, v2valid.Bytes())
+	var v1valid bytes.Buffer
+	_ = WriteFrame(&v1valid, Subscribe{Op: OpSubscribe, Name: "w", ResumeFrom: 7})
+	f.Add(uint64(7), "w", true, v1valid.Bytes())
+
+	f.Fuzz(func(t *testing.T, resumeFrom uint64, name string, snapshot bool, data []byte) {
+		if !utf8.ValidString(name) {
+			t.Skip() // the v1 JSON encoder rewrites invalid UTF-8
+		}
+		in := Subscribe{Op: OpSubscribe, Name: name, ResumeFrom: resumeFrom, Snapshot: snapshot}
+
+		// Round trip on v1 (JSON, omitempty) and v2 (binary, zero-omitting
+		// tag): the resume point must survive both encodings exactly.
+		var v1buf bytes.Buffer
+		if err := WriteFrame(&v1buf, in); err != nil {
+			t.Skip() // oversized by construction
+		}
+		var v1out Subscribe
+		if err := ReadFrame(&v1buf, &v1out); err != nil {
+			t.Fatalf("v1 decode of just-encoded resume subscribe: %v", err)
+		}
+		if v1out.ResumeFrom != resumeFrom {
+			t.Fatalf("v1 resume round trip: got %d want %d", v1out.ResumeFrom, resumeFrom)
+		}
+		payload, err := appendBinaryFrame(nil, &in)
+		if err != nil {
+			t.Fatalf("v2 encode: %v", err)
+		}
+		var v2out Subscribe
+		if err := decodeBinaryFrame(payload, &v2out); err != nil {
+			t.Fatalf("v2 decode of just-encoded resume subscribe: %v (payload % x)", err, payload)
+		}
+		if v2out.ResumeFrom != resumeFrom {
+			t.Fatalf("v2 resume round trip: got %d want %d", v2out.ResumeFrom, resumeFrom)
+		}
+
+		// Hardening: arbitrary bytes on either version's reader must produce
+		// a subscription or an error, never a panic; anything Validate
+		// accepts must be a well-formed resume request.
+		for _, decode := range []func(*Subscribe) error{
+			func(s *Subscribe) error { return ReadFrame(bytes.NewReader(data), s) },
+			func(s *Subscribe) error {
+				return NewConn(bytes.NewBuffer(append([]byte(nil), data...)), V2, nil).ReadFrame(s)
+			},
+		} {
+			var got Subscribe
+			if err := decode(&got); err != nil {
+				continue
+			}
+			if err := got.Validate(); err != nil {
+				continue
+			}
+			if got.Op != OpSubscribe {
+				t.Fatalf("validated resume subscribe with op %q", got.Op)
+			}
+			if got.Buffer < 0 {
+				t.Fatalf("validated negative buffer %d", got.Buffer)
+			}
+		}
+	})
+}
+
 // FuzzPooledFrameSequence hardens the buffer pooling: a long frame followed
 // by shorter frames reuses the same pooled buffers, and every frame must
 // still round-trip to exactly itself — no byte of one frame may leak into

@@ -61,6 +61,21 @@ type Subscribe struct {
 	// Tenant addresses one lab instance behind a fleet listener; empty means
 	// the listener's default tenant (see wire.Request.Tenant).
 	Tenant string `json:"tenant,omitempty"`
+
+	// ResumeFrom, when non-zero, asks the server to resume a broken tail:
+	// replay every matching record with sequence number >= ResumeFrom from
+	// the persistent store, then follow live — a gap-free, duplicate-free
+	// continuation for a client that already delivered [0, ResumeFrom).
+	// Like Tenant, the field is zero-value compatible: pre-resume peers
+	// (and fresh subscriptions) simply omit it. Sequence numbers start at
+	// zero, so "resume from the beginning" is ResumeFrom=0 with Snapshot
+	// set, exactly as before this field existed.
+	//
+	// When ResumeFrom predates the store's retention floor the server
+	// cannot honor it exactly: it sends an EventResumeGap notice carrying
+	// the number of unrecoverable records, then a full snapshot of what
+	// retention kept — graceful degradation, never an error.
+	ResumeFrom uint64 `json:"resumeFrom,omitempty"`
 }
 
 // Validate reports whether the frame is a well-formed subscription.
@@ -91,6 +106,11 @@ const (
 	// EventError reports a subscription failure; the server closes the
 	// connection after sending it.
 	EventError = "error"
+	// EventResumeGap warns a resuming client that Subscribe.ResumeFrom
+	// predates the store's retention floor: Event.Gap records lost to
+	// retention cannot be replayed, and the snapshot that follows starts at
+	// the floor instead. The tail continues — degraded, and saying so.
+	EventResumeGap = "resume-gap"
 )
 
 // Event is one server → client tail frame.
@@ -103,4 +123,31 @@ type Event struct {
 	// to know its view has holes.
 	Dropped uint64 `json:"dropped,omitempty"`
 	Error   string `json:"error,omitempty"`
+	// Gap, on an EventResumeGap frame, is the number of records between the
+	// requested resume point and the store's retention floor — replay the
+	// client asked for that retention has already discarded.
+	Gap uint64 `json:"gap,omitempty"`
+}
+
+// Ping is a server → client liveness probe on a v2 tail connection; the
+// client answers with a Pong echoing the sequence number. v1 has no
+// liveness frames (its tail protocol predates them), which negotiation
+// already handles: a server only pings peers that completed the v2
+// handshake, and a v1 peer simply keeps the pre-heartbeat behaviour.
+type Ping struct {
+	Seq uint64 `json:"seq"`
+}
+
+// Pong is the client's answer to a Ping.
+type Pong struct {
+	Seq uint64 `json:"seq"`
+}
+
+// TailFrame is what a tail client reads after subscribing: either an Event
+// or a liveness Ping (exactly one field is set). On a v1 connection only
+// events ever arrive, so decoding a TailFrame degrades to decoding an
+// Event.
+type TailFrame struct {
+	Event *Event
+	Ping  *Ping
 }

@@ -430,6 +430,32 @@ var (
 	DialStreamProto = stream.DialProto
 )
 
+// StreamHeartbeat configures the stream server's liveness protocol: v2
+// connections are pinged every Interval and reaped when no pong arrives
+// within the grace window, so half-open subscribers stop holding rings and
+// goroutines. Apply with StreamServer.SetHeartbeat.
+type StreamHeartbeat = stream.HeartbeatConfig
+
+// StreamResilientTail is the self-healing consumer: an auto-reconnecting
+// tail that tracks the last delivered sequence number, redials with
+// jittered exponential backoff (reproducible per seed), renegotiates the
+// wire protocol, and resumes from where it left off — exactly-once
+// delivery across server restarts.
+type (
+	StreamResilientTail   = stream.ResilientTail
+	StreamResilientConfig = stream.ResilientConfig
+	StreamResilientStats  = stream.ResilientStats
+)
+
+// NewStreamResilientTail builds an auto-reconnecting tail; the first
+// connection is dialed lazily by the first Recv.
+var NewStreamResilientTail = stream.NewResilientTail
+
+// StreamSubscribeError is the permanent-refusal error: the server answered
+// the subscription with an explicit error event rather than dropping the
+// connection, so redialing with the same request cannot help.
+type StreamSubscribeError = stream.SubscribeError
+
 // StreamSubscribe is the wire-protocol subscription request a stream client
 // sends (filters, snapshot, policy, buffer); StreamWireEvent is the framed
 // event the server answers with.
@@ -444,6 +470,10 @@ const (
 	StreamEventPower       = wire.EventPower
 	StreamEventSnapshotEnd = wire.EventSnapshotEnd
 	StreamEventError       = wire.EventError
+	// StreamEventResumeGap is the degradation notice a resuming subscriber
+	// receives when its resume point predates the store's retention floor:
+	// Gap records are gone, and a full snapshot of what remains follows.
+	StreamEventResumeGap   = wire.EventResumeGap
 	StreamPolicyDropOldest = wire.PolicyDropOldest
 	StreamPolicyBlock      = wire.PolicyBlock
 )
