@@ -94,6 +94,9 @@ func run(args []string, stop <-chan struct{}) error {
 	heartbeat := fs.Duration("heartbeat", 0, "stream liveness: ping v2 subscribers at this interval and reap any that stop answering (0 disables)")
 	idleTimeout := fs.Duration("idle-timeout", 0, "reap exec connections idle past this deadline — half-open peers stop holding sockets and goroutines (0 disables)")
 	drainTimeout := fs.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget on SIGINT/SIGTERM: in-flight requests finish and subscriber rings flush before connections are severed (0 closes immediately)")
+	spanBuffer := fs.Int("span-buffer", 512, "span flight-recorder ring capacity per CPU shard (0 disables request tracing)")
+	spanSample := fs.Uint64("span-sample", 0, "trace sampling: keep one trace in N (0 or 1 keeps every trace)")
+	slowSpan := fs.Duration("slow-span", 0, "log every span at least this long (0 disables the slow-span log)")
 	fleetMode := fs.Bool("fleet", false, "serve a multi-tenant fleet: tenant-tagged requests route to lazily-instantiated per-tenant labs; untagged peers keep reaching the default lab unchanged")
 	maxTenants := fs.Int("tenants", rad.FleetDefaultMaxTenants, "labs one -fleet listener will instantiate before refusing new tenant IDs")
 	if err := fs.Parse(args); err != nil {
@@ -125,8 +128,32 @@ func run(args []string, stop <-chan struct{}) error {
 	if *obsAddr != "" {
 		reg = rad.NewMetricsRegistry()
 		rad.ObserveParallel(reg)
+		rad.RegisterRuntimeMetrics(reg)
 	}
 	clock := rad.RealClock{}
+
+	// Span flight recorder: always-on request tracing in bounded memory.
+	// Every layer below gets the same recorder, so one request's client,
+	// wire, exec, store, and stream spans assemble into one tree at
+	// /debug/spans. A nil recorder (-span-buffer 0) keeps every hot path at
+	// a single pointer check.
+	var spans *rad.SpanRecorder
+	if *spanBuffer > 0 {
+		spans = rad.NewSpanRecorder(rad.SpanConfig{
+			BufferPerShard: *spanBuffer,
+			Seed:           *seed,
+			SampleEvery:    *spanSample,
+			SlowThreshold:  *slowSpan,
+			OnSlow: func(s rad.Span) {
+				fmt.Printf("slow span: %s %s/%s %.1fms trace=%s\n",
+					s.Name, s.Tenant, s.Outcome, float64(s.Duration())/1e6, rad.SpanFormatID(s.TraceID))
+			},
+		})
+	}
+	spanTenant := ""
+	if *fleetMode {
+		spanTenant = rad.FleetDefaultTenant
+	}
 
 	// Trace sinks: in-memory store for stats plus the optional persistent
 	// store and file logs.
@@ -209,12 +236,14 @@ func run(args []string, stop <-chan struct{}) error {
 			}
 		}
 		failover = rad.NewFailoverSink(sink, dlq)
+		failover.SetSpans(spans, spanTenant)
 		if reg != nil {
 			failover.Observe(reg)
 		}
 		sink = failover
 	}
 	core := rad.NewMiddlebox(clock, sink)
+	core.SetSpans(spans, spanTenant)
 	if reg != nil {
 		core.Observe(reg)
 	}
@@ -255,6 +284,7 @@ func run(args []string, stop <-chan struct{}) error {
 		fleetRouter, err = rad.NewFleetRouter(rad.FleetConfig{
 			MaxTenants: *maxTenants,
 			Registry:   reg,
+			Spans:      spans,
 			Factory: func(id string) (*rad.FleetResources, error) {
 				if id == rad.FleetDefaultTenant {
 					return &rad.FleetResources{Core: core, Broker: broker, DB: tdb}, nil
@@ -272,9 +302,12 @@ func run(args []string, stop <-chan struct{}) error {
 						return nil, err
 					}
 					res.DLQ = tdlq
-					sink = rad.NewFailoverSink(sink, tdlq)
+					tfo := rad.NewFailoverSink(sink, tdlq)
+					tfo.SetSpans(spans, id)
+					sink = tfo
 				}
 				tcore := rad.NewMiddlebox(clock, sink)
+				tcore.SetSpans(spans, id)
 				if *streamAddr != "" {
 					b := rad.NewBroker()
 					tcore.AttachBroker(b)
@@ -317,6 +350,7 @@ func run(args []string, stop <-chan struct{}) error {
 			defer stopBridge()
 		}
 		streamSrv = rad.NewStreamServer(broker, tdb)
+		streamSrv.SetSpans(spans)
 		streamSrv.SetProtocol(proto)
 		if *heartbeat > 0 {
 			streamSrv.SetHeartbeat(rad.StreamHeartbeat{Interval: *heartbeat})
@@ -356,28 +390,47 @@ func run(args []string, stop <-chan struct{}) error {
 	}
 	applyPolicy(core)
 
-	var obsSrv *http.Server
-	if *obsAddr != "" {
-		ln, err := net.Listen("tcp", *obsAddr)
-		if err != nil {
-			return err
-		}
-		obsSrv = &http.Server{Handler: rad.NewMetricsMux(reg)}
-		go func() { _ = obsSrv.Serve(ln) }()
-		defer obsSrv.Close()
-		fmt.Printf("telemetry listening on http://%s/metrics\n", ln.Addr())
-		if obsReady != nil {
-			obsReady <- ln.Addr().String()
-		}
-	}
-
 	srv := rad.NewMiddleboxHandlerServer(handler, profile, *seed+6)
+	srv.SetSpans(spans)
 	srv.SetProtocol(proto)
 	if *idleTimeout > 0 {
 		srv.SetIdleTimeout(*idleTimeout)
 	}
 	if reg != nil {
 		srv.Observe(reg)
+	}
+
+	var obsSrv *http.Server
+	if *obsAddr != "" {
+		ln, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			return err
+		}
+		// /healthz flips to 503 the moment any listener begins draining, so
+		// a balancer stops routing to a middlebox that is shutting down;
+		// /debug/spans serves the flight recorder's recent trace trees.
+		opts := rad.MetricsMuxOptions{Health: func() bool {
+			if srv.Draining() {
+				return false
+			}
+			if streamSrv != nil && streamSrv.Draining() {
+				return false
+			}
+			if fleetRouter != nil && fleetRouter.Draining() {
+				return false
+			}
+			return true
+		}}
+		if spans != nil {
+			opts.Spans = rad.SpanHandler(spans)
+		}
+		obsSrv = &http.Server{Handler: rad.NewMetricsMuxWith(reg, opts)}
+		go func() { _ = obsSrv.Serve(ln) }()
+		defer obsSrv.Close()
+		fmt.Printf("telemetry listening on http://%s/metrics\n", ln.Addr())
+		if obsReady != nil {
+			obsReady <- ln.Addr().String()
+		}
 	}
 	addr, err := srv.Start(*listen)
 	if err != nil {
@@ -436,6 +489,11 @@ func run(args []string, stop <-chan struct{}) error {
 			fmt.Printf("  breaker %-8s %-9s opened %d, probed %d, shed %d\n",
 				b.Device, b.State, b.Opens, b.Probes, b.Sheds)
 		}
+	}
+	if spans != nil {
+		sst := spans.Stats()
+		fmt.Printf("spans: %d recorded, %d buffered, %d evicted, %d sampled out\n",
+			sst.Recorded, sst.Buffered, sst.Evicted, sst.Sampled)
 	}
 	if failover != nil {
 		fst := failover.Stats()

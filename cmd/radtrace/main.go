@@ -34,6 +34,7 @@ func run(args []string) error {
 	solid := fs.String("solid", "NABH4", "solid for solubility screens")
 	presses := fs.Int("presses", 20, "button presses for joystick sessions")
 	seed := fs.Uint64("seed", 0, "per-run random seed (0 = nondeterministic)")
+	spanBuffer := fs.Int("span-buffer", 512, "client span flight-recorder ring capacity per CPU shard (0 disables request tracing)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -45,6 +46,16 @@ func run(args []string) error {
 	clock := rad.RealClock{}
 	sess := rad.NewTracingSession(transport, clock, rad.TracingConfig{DefaultMode: rad.ModeRemote})
 	defer sess.Close()
+	// The client-side flight recorder brackets every Exec in a client span
+	// and stamps its trace context into the outgoing request, so the
+	// middlebox's server/exec/store/stream spans stitch under this
+	// process's spans (inspect them with radwatch -spans against the
+	// middlebox's -obs-addr).
+	var spans *rad.SpanRecorder
+	if *spanBuffer > 0 {
+		spans = rad.NewSpanRecorder(rad.SpanConfig{BufferPerShard: *spanBuffer, Seed: *seed})
+		sess.SetSpans(spans)
+	}
 
 	// Assemble a Lab whose virtualized devices all point at the remote
 	// middlebox. The raw simulators live on the middlebox, so fault
@@ -92,5 +103,9 @@ func run(args []string) error {
 	}
 	fmt.Printf("procedure %s (%s): %d commands traced, %s\n",
 		res.Procedure, *runLabel, res.Commands, status)
+	if spans != nil {
+		st := spans.Stats()
+		fmt.Printf("client spans: %d recorded, %d buffered\n", st.Recorded, st.Buffered)
+	}
 	return nil
 }

@@ -10,11 +10,19 @@
 //	radwatch -addr HOST:PORT [filters] [-snapshot] [-power] [-reconnect] [-proto auto|v1|v2] [-format text|jsonl|csv] [-limit N]
 //	radwatch -addr HOST:PORT -ids -train TRACE.jsonl [-order N] [-window N] [-alerts FILE]
 //	radwatch -obs HOST:PORT [-interval DUR] [-limit N]
+//	radwatch -obs HOST:PORT -spans [-span-min DUR] [-span-tenant ID] [-span-outcome S] [-limit N]
 //
 // -obs switches radwatch from tailing traces to polling a middlebox
 // telemetry endpoint (radmiddlebox -obs-addr): each poll fetches /snapshot
 // and pretty-prints the non-zero counters, gauges, and latency histograms
 // (count, mean, p50/p90/p99). -limit bounds the number of polls.
+//
+// -spans (with -obs) fetches the middlebox's span flight recorder
+// (/debug/spans) once and pretty-prints the recent request trace trees —
+// client, wire, exec-attempt, store, and stream spans stitched per request
+// — plus recorder accounting and per-tenant rollups. -span-min,
+// -span-tenant, and -span-outcome filter server-side; -limit caps the
+// number of trees.
 //
 // A server that vanishes mid-tail makes radwatch exit nonzero with a
 // summary of what it saw (records, last seq, drops) — unless -reconnect is
@@ -70,6 +78,10 @@ func run(args []string, out io.Writer) error {
 	protoFlag := fs.String("proto", "auto", "wire protocol: auto (try v2 binary, fall back to v1 JSON), v1, or v2")
 	obsAddr := fs.String("obs", "", "middlebox telemetry address (-obs-addr): poll /snapshot and pretty-print metrics instead of tailing the stream")
 	interval := fs.Duration("interval", 2*time.Second, "obs: polling interval")
+	spansMode := fs.Bool("spans", false, "obs: poll /debug/spans instead of /snapshot and pretty-print recent trace trees")
+	spanMin := fs.Duration("span-min", 0, "spans: only trace trees whose root is at least this long")
+	spanTenant := fs.String("span-tenant", "", "spans: only trace trees tagged with this tenant")
+	spanOutcome := fs.String("span-outcome", "", "spans: only trace trees with this root outcome (ok, error, timeout, shed)")
 	reconnect := fs.Bool("reconnect", false, "survive server restarts: redial with jittered exponential backoff and resume from the last delivered seq instead of exiting")
 	reconnectSeed := fs.Uint64("reconnect-seed", 1, "reconnect: seed for the backoff-jitter PRNG (reproducible redial schedules)")
 	idleTimeout := fs.Duration("idle-timeout", 0, "reconnect: treat a connection silent for this long as half-open and redial (pair with the server's heartbeat interval; 0 disables)")
@@ -86,7 +98,15 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if *obsAddr != "" {
+		if *spansMode {
+			return watchSpans(out, *obsAddr, spanFilter{
+				min: *spanMin, tenant: *spanTenant, outcome: *spanOutcome, limit: *limit,
+			})
+		}
 		return watchObs(out, *obsAddr, *interval, *limit)
+	}
+	if *spansMode {
+		return fmt.Errorf("-spans requires -obs")
 	}
 	if *addr == "" {
 		return fmt.Errorf("-addr is required")

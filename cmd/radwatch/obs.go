@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sort"
 	"strings"
 	"time"
@@ -31,6 +32,67 @@ func watchObs(out io.Writer, addr string, interval time.Duration, limit int) err
 			return nil
 		}
 	}
+}
+
+// spanFilter carries the -span-* flags into the /debug/spans query string.
+type spanFilter struct {
+	min     time.Duration
+	tenant  string
+	outcome string
+	limit   int
+}
+
+// watchSpans fetches the middlebox's span flight recorder once
+// (/debug/spans JSON, filtered server-side) and pretty-prints the recorder
+// accounting, the per-tenant rollups, and each recent trace tree — the
+// remote twin of the endpoint's format=text view.
+func watchSpans(out io.Writer, addr string, f spanFilter) error {
+	q := url.Values{}
+	if f.min > 0 {
+		q.Set("min", f.min.String())
+	}
+	if f.tenant != "" {
+		q.Set("tenant", f.tenant)
+	}
+	if f.outcome != "" {
+		q.Set("outcome", f.outcome)
+	}
+	if f.limit > 0 {
+		q.Set("limit", fmt.Sprint(f.limit))
+	}
+	u := fmt.Sprintf("http://%s/debug/spans", addr)
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", u, resp.Status)
+	}
+	var page rad.SpanPageJSON
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return fmt.Errorf("decode spans: %w", err)
+	}
+	st := page.Stats
+	fmt.Fprintf(out, "spans: %d buffered, %d recorded, %d evicted, %d sampled out\n",
+		st.Buffered, st.Recorded, st.Evicted, st.Sampled)
+	for _, r := range page.Rollups {
+		tenant := r.Tenant
+		if tenant == "" {
+			tenant = "(untenanted)"
+		}
+		fmt.Fprintf(out, "tenant %-24s %d spans, %d errors, max %s\n",
+			tenant, r.Spans, r.Errors, r.Max.Round(time.Microsecond))
+	}
+	if len(page.Roots) == 0 {
+		fmt.Fprintln(out, "no trace trees match")
+		return nil
+	}
+	rad.WriteSpanTrees(out, page.Roots)
+	return nil
 }
 
 func fetchSnapshot(url string) (rad.MetricsSnapshot, error) {

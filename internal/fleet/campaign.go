@@ -17,6 +17,7 @@ import (
 	"rad/internal/fault"
 	"rad/internal/middlebox"
 	"rad/internal/obs"
+	"rad/internal/obs/span"
 	"rad/internal/simclock"
 	"rad/internal/store"
 	"rad/internal/wire"
@@ -64,6 +65,11 @@ type CampaignConfig struct {
 	// Registry, when set, receives fleet rollups and per-tenant child
 	// metrics.
 	Registry *obs.Registry
+	// Spans, when set, attaches the span flight recorder to every tenant
+	// core. Tracing must not perturb the dataset: span ids and ring state
+	// live outside the record codec and digests, so a traced campaign's
+	// per-tenant digests are byte-identical to an untraced one's.
+	Spans *span.Recorder
 }
 
 // TenantResult is one lab's campaign outcome.
@@ -160,6 +166,7 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 		Factory:    func(id string) (*Resources, error) { return c.buildLab(id, labs) },
 		MaxTenants: cfg.Tenants + 1, // + the default tenant, should anyone dial untagged
 		Registry:   cfg.Registry,
+		Spans:      cfg.Spans,
 	})
 	if err != nil {
 		return nil, err
@@ -193,6 +200,7 @@ func (c *Campaign) buildLab(id string, labs *sync.Map) (*Resources, error) {
 	}
 
 	core := middlebox.NewCore(lab.clock, sink)
+	core.SetSpans(c.cfg.Spans, id)
 	for i, name := range campaignDevices {
 		env := device.NewEnv(lab.clock, seed+uint64(i))
 		var dev device.Device

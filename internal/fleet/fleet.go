@@ -23,6 +23,7 @@ import (
 
 	"rad/internal/middlebox"
 	"rad/internal/obs"
+	"rad/internal/obs/span"
 	"rad/internal/store"
 	"rad/internal/stream"
 	"rad/internal/tracedb"
@@ -81,6 +82,12 @@ type Config struct {
 	// Registry, when set, receives fleet rollups and per-tenant child
 	// metrics as tenants come to life.
 	Registry *obs.Registry
+	// Spans, when set, is the process-wide span flight recorder. The router
+	// itself records nothing — tenant Cores stamp spans with their tenant id
+	// via the Factory — but a registered recorder gives each tenant a
+	// buffered-span rollup gauge pair (spans, errors) next to its request
+	// counter, so "which lab is tracing hot/failing" is one scrape away.
+	Spans *span.Recorder
 }
 
 // Tenant is one instantiated lab: its resources plus routing accounting.
@@ -121,6 +128,7 @@ type Router struct {
 	tenants  atomic.Int64  // instantiated tenants (factory succeeded)
 	routed   atomic.Uint64 // requests successfully routed to a core
 	rejected atomic.Uint64 // invalid tenant ID, cap hit, or factory failure
+	draining atomic.Bool   // Drain or Close has begun
 }
 
 // NewRouter builds a fleet router.
@@ -319,6 +327,7 @@ func (r *Router) Snapshot() Stats {
 // skipped (Close still tears them down). Returns the first tenant error,
 // or ctx.Err() when the deadline cut the drain short.
 func (r *Router) Drain(ctx context.Context) error {
+	r.draining.Store(true)
 	var first error
 	expired := false
 	r.walk(func(t *Tenant, res *Resources) {
@@ -351,9 +360,24 @@ func (r *Router) Drain(ctx context.Context) error {
 	return nil
 }
 
+// Draining reports whether Drain (or Close) has begun — the fleet
+// contribution to a drain-aware /healthz.
+func (r *Router) Draining() bool { return r.draining.Load() }
+
+// Rollups summarizes the flight recorder's buffered spans by tenant, when
+// the router was configured with one — the per-lab trace view next to
+// Snapshot's per-lab exec view.
+func (r *Router) Rollups() []span.TenantRollup {
+	if r.cfg.Spans == nil {
+		return nil
+	}
+	return r.cfg.Spans.Rollup()
+}
+
 // Close tears down every tenant that defined a Close, returning the first
 // error. The router itself needs no teardown.
 func (r *Router) Close() error {
+	r.draining.Store(true)
 	var first error
 	r.walk(func(t *Tenant, res *Resources) {
 		if res.Close != nil {

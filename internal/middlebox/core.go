@@ -21,6 +21,7 @@ import (
 	"rad/internal/device"
 	"rad/internal/fault"
 	"rad/internal/obs"
+	"rad/internal/obs/span"
 	"rad/internal/simclock"
 	"rad/internal/store"
 	"rad/internal/stream"
@@ -58,15 +59,20 @@ type cmdHist struct {
 }
 
 // observeSlow is the exec path's histogram lookup miss path: resolve the
-// command's histogram in the map, refresh the last-command cache, record.
-// The hit path is spelled out inline in handleExec.
-func (e *deviceEntry) observeSlow(name string, d time.Duration) {
+// command's histogram in the map, refresh the last-command cache, record
+// (with a trace-id exemplar when the exec was traced). The hit path is
+// spelled out inline in handleExec.
+func (e *deviceEntry) observeSlow(name string, d time.Duration, traceID uint64) {
 	h, ok := e.hist[name]
 	if !ok {
 		h = e.histOther
 	}
 	e.lastHist.Store(&cmdHist{name: name, h: h})
-	h.Observe(d)
+	if traceID != 0 {
+		h.ObserveExemplar(d, traceID)
+	} else {
+		h.Observe(d)
+	}
 }
 
 // Core is the transport-independent middlebox: it owns the device
@@ -113,6 +119,14 @@ type Core struct {
 	// logging path must not double-publish.
 	broker      *stream.Broker
 	brokerWired bool
+
+	// spans, when attached, is the request-tracing flight recorder: one root
+	// span per request with children for exec attempts and store appends
+	// (internal/obs/span). Immutable after SetSpans; nil keeps tracing off
+	// at the price of one nil check per request. spanTenant tags every span
+	// with the owning tenant in fleet deployments.
+	spans      *span.Recorder
+	spanTenant string
 
 	// Request counters are atomics so that concurrent device sessions never
 	// serialize on the registry lock just to bump a statistic.
@@ -182,6 +196,17 @@ func (c *Core) AttachBroker(b *stream.Broker) {
 		c.brokerWired = true
 	}
 }
+
+// SetSpans attaches a span flight recorder; tenant (may be empty) tags
+// every span this core records, which is how fleet routers get per-tenant
+// trace rollups. Call before serving traffic.
+func (c *Core) SetSpans(r *span.Recorder, tenant string) {
+	c.spans = r
+	c.spanTenant = tenant
+}
+
+// Spans returns the attached span recorder (nil when tracing is off).
+func (c *Core) Spans() *span.Recorder { return c.spans }
 
 // Register connects a device to the middlebox. Registering a device with a
 // name already in use replaces the previous registration (and resets its
@@ -263,8 +288,13 @@ func (c *Core) handleExec(req wire.Request) wire.Reply {
 		return wire.Reply{ID: req.ID, Error: fmt.Sprintf("middlebox: device %q not registered", req.Device)}
 	}
 	d, br := e.dev, e.breaker
+	// Adopt the caller's trace context (or start a fresh trace) before any
+	// outcome branches, so shed requests trace too. On a nil recorder this
+	// is a nil check returning the zero context, and every span site below
+	// is skipped.
+	sctx, parent := c.spans.Adopt(span.Context{TraceID: req.TraceID, SpanID: req.SpanID})
 	if !br.Allow() {
-		return c.shedExec(req)
+		return c.shedExec(req, sctx, parent)
 	}
 	cmd := device.Command{Device: req.Device, Name: req.Name, Args: req.Args}
 	start := c.clock.Now()
@@ -292,7 +322,11 @@ func (c *Core) handleExec(req wire.Request) wire.Reply {
 		if infra := err != nil && fault.IsInfra(err); infra {
 			br.Done(true)
 			c.infraErrs.Add(1)
-			value, end, err = c.execRetry(d, br, cmd, value, end, err)
+			// The first attempt failed into the retry path: record its span
+			// (the fault-free path records only the root, keeping its span
+			// cost to one ring write), then continue the attempt loop.
+			c.recordAttempt(sctx, 1, br, start, end, err)
+			value, end, err = c.execRetry(d, br, cmd, sctx, value, end, err)
 		} else {
 			br.Done(false)
 		}
@@ -302,12 +336,18 @@ func (c *Core) handleExec(req wire.Request) wire.Reply {
 		// duration comes from the injected clock, so virtual-clock
 		// campaigns produce deterministic histograms. The last-command
 		// cache hit path is spelled out here so the common case pays one
-		// atomic load and a string compare, not a map access.
+		// atomic load and a string compare, not a map access. Traced execs
+		// stamp the landing bucket's exemplar with their trace id, linking
+		// rad_middlebox_exec_seconds buckets to /debug/spans trees.
 		d := end.Sub(start)
 		if last := e.lastHist.Load(); last != nil && last.name == req.Name {
-			last.h.Observe(d)
+			if sctx.TraceID != 0 {
+				last.h.ObserveExemplar(d, sctx.TraceID)
+			} else {
+				last.h.Observe(d)
+			}
 		} else {
-			e.observeSlow(req.Name, d)
+			e.observeSlow(req.Name, d, sctx.TraceID)
 		}
 	}
 
@@ -326,6 +366,20 @@ func (c *Core) handleExec(req wire.Request) wire.Reply {
 		reply.Error = err.Error()
 		c.errors.Add(1)
 	}
+	if sctx.Valid() {
+		// Stamp the record with the exec root's context so downstream span
+		// sites (store append, DLQ spill, stream delivery) attach under it;
+		// the fields are json:"-" so the persisted dataset is unchanged.
+		rec.TraceID, rec.SpanID = sctx.TraceID, sctx.SpanID
+		s := span.Span{TraceID: sctx.TraceID, SpanID: sctx.SpanID, ParentID: parent,
+			Name: "middlebox.exec", Tenant: c.spanTenant, Start: start, End: end}
+		s.SetAttr("device", req.Device)
+		s.SetAttr("command", req.Name)
+		if err != nil {
+			s.Outcome = outcomeOf(err)
+		}
+		c.spans.Record(s)
+	}
 	c.log(rec)
 	return reply
 }
@@ -341,6 +395,17 @@ func (c *Core) handleTrace(req wire.Request) wire.Reply {
 		Mode:      "DIRECT",
 	}
 	c.traces.Add(1)
+	if sctx, parent := c.spans.Adopt(span.Context{TraceID: req.TraceID, SpanID: req.SpanID}); sctx.Valid() {
+		rec.TraceID, rec.SpanID = sctx.TraceID, sctx.SpanID
+		s := span.Span{TraceID: sctx.TraceID, SpanID: sctx.SpanID, ParentID: parent,
+			Name: "middlebox.trace", Tenant: c.spanTenant, Start: rec.Time, End: rec.EndTime}
+		s.SetAttr("device", req.Device)
+		s.SetAttr("command", req.Name)
+		if req.Error != "" {
+			s.Outcome = span.OutcomeError
+		}
+		c.spans.Record(s)
+	}
 	c.log(rec)
 	return wire.Reply{ID: req.ID, Value: "ok"}
 }
@@ -356,7 +421,20 @@ func (c *Core) log(rec store.Record) {
 	}
 	// Trace logging must never fail the command path; the middlebox drops
 	// the record if the sink errors (a full disk must not stop the lab).
-	_ = c.sink.Append(rec)
+	// Traced records get a store-append child span bracketing the write —
+	// under a virtual clock the bracket is zero-width and deterministic.
+	if rec.TraceID != 0 {
+		start := c.clock.Now()
+		err := c.sink.Append(rec)
+		s := span.Span{TraceID: rec.TraceID, SpanID: c.spans.NewID(), ParentID: rec.SpanID,
+			Name: "store.append", Tenant: c.spanTenant, Start: start, End: c.clock.Now()}
+		if err != nil {
+			s.Outcome = span.OutcomeError
+		}
+		c.spans.Record(s)
+	} else {
+		_ = c.sink.Append(rec)
+	}
 	// Sinks that sequence records publish from their own commit hook; for
 	// plain sinks the logging path publishes directly.
 	if c.broker != nil && !c.brokerWired {

@@ -1,14 +1,17 @@
 package middlebox
 
 import (
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"rad/internal/device"
 	"rad/internal/fault"
+	"rad/internal/obs/span"
 	"rad/internal/store"
 	"rad/internal/wire"
 )
@@ -111,21 +114,67 @@ func (c *Core) lookup(name string) (*deviceEntry, bool) {
 
 // shedExec rejects a request whose breaker is open: no device contact, an
 // immediate DEVICE_UNAVAILABLE reply, and a synthetic trace record so the
-// outage is visible in the dataset instead of being a silence.
-func (c *Core) shedExec(req wire.Request) wire.Reply {
+// outage is visible in the dataset instead of being a silence. Sheds trace
+// like any other outcome (a zero-width root span with outcome "shed"), so
+// /debug/spans?outcome=shed answers "which tenants are we rejecting".
+func (c *Core) shedExec(req wire.Request, sctx span.Context, parent uint64) wire.Reply {
 	c.shed.Add(1)
 	c.errors.Add(1)
 	now := c.clock.Now()
 	msg := fmt.Sprintf("%s: %s: circuit open", DeviceUnavailable, req.Device)
-	c.log(store.Record{
+	rec := store.Record{
 		Time: now, EndTime: now,
 		Device: req.Device, Name: req.Name, Args: req.Args,
 		Exception: msg,
 		Procedure: procedureLabel(req.Procedure),
 		Run:       req.Run,
 		Mode:      "REMOTE",
-	})
+	}
+	if sctx.Valid() {
+		rec.TraceID, rec.SpanID = sctx.TraceID, sctx.SpanID
+		s := span.Span{TraceID: sctx.TraceID, SpanID: sctx.SpanID, ParentID: parent,
+			Name: "middlebox.exec", Tenant: c.spanTenant, Outcome: span.OutcomeShed,
+			Start: now, End: now}
+		s.SetAttr("device", req.Device)
+		s.SetAttr("command", req.Name)
+		s.SetAttr("breaker", "open")
+		c.spans.Record(s)
+	}
+	c.log(rec)
 	return wire.Reply{ID: req.ID, Error: msg}
+}
+
+// outcomeOf classifies an exec error for its span.
+func outcomeOf(err error) string {
+	if errors.Is(err, fault.ErrDeadline) {
+		return span.OutcomeTimeout
+	}
+	return span.OutcomeError
+}
+
+// recordAttempt records one hardened exec attempt's span, annotated with
+// the attempt number, the breaker's state after the attempt was charged,
+// and — when an injector fired — the fault class. Only attempts on the
+// retry path reach here; the fault-free single attempt is represented by
+// the root exec span itself.
+func (c *Core) recordAttempt(sctx span.Context, attempt int, br *fault.Breaker, start, end time.Time, err error) {
+	if !sctx.Valid() {
+		return
+	}
+	s := span.Span{TraceID: sctx.TraceID, SpanID: c.spans.NewID(), ParentID: sctx.SpanID,
+		Name: "exec.attempt", Tenant: c.spanTenant, Start: start, End: end}
+	s.SetAttr("attempt", strconv.Itoa(attempt))
+	if br != nil {
+		s.SetAttr("breaker", br.State().String())
+	}
+	if err != nil {
+		s.Outcome = outcomeOf(err)
+		var f *fault.Fault
+		if errors.As(err, &f) {
+			s.SetAttr("fault", f.Kind.String())
+		}
+	}
+	c.spans.Record(s)
 }
 
 // execAttempt runs one deadline-bounded attempt. Under a real clock the
@@ -155,7 +204,7 @@ func (c *Core) execAttempt(d device.Device, cmd device.Command, start time.Time)
 // feeds the breaker, and device-reported command errors return immediately
 // — they are answers, not outages. The idempotency map key is built here,
 // off the hot path, so the fault-free path never constructs it.
-func (c *Core) execRetry(d device.Device, br *fault.Breaker, cmd device.Command, value string, end time.Time, err error) (string, time.Time, error) {
+func (c *Core) execRetry(d device.Device, br *fault.Breaker, cmd device.Command, sctx span.Context, value string, end time.Time, err error) (string, time.Time, error) {
 	attempts := 1
 	if c.policy.Retries > 0 && c.idempotent[cmd.Device+"."+cmd.Name] {
 		attempts += c.policy.Retries
@@ -167,6 +216,7 @@ func (c *Core) execRetry(d device.Device, br *fault.Breaker, cmd device.Command,
 		value, end, err = c.execAttempt(d, cmd, start)
 		infra := err != nil && fault.IsInfra(err)
 		br.Done(infra)
+		c.recordAttempt(sctx, attempt+1, br, start, end, err)
 		if !infra {
 			return value, end, err
 		}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rad/internal/obs"
+	"rad/internal/obs/span"
 	"rad/internal/wire"
 )
 
@@ -86,6 +87,7 @@ type Server struct {
 	profile NetworkProfile
 	proto   wire.Proto
 	wireM   *wire.Metrics
+	spans   *span.Recorder
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -122,6 +124,22 @@ func (s *Server) SetProtocol(p wire.Proto) { s.proto = p }
 // Observe registers per-protocol wire metrics (frame counters,
 // encode/decode latency histograms) in reg. Call before Start.
 func (s *Server) Observe(reg *obs.Registry) { s.wireM = wire.NewMetrics(reg) }
+
+// SetSpans attaches a span flight recorder: every request served gets a
+// "server.request" root span (stitched under the client's span when the
+// request carries trace context) with wire decode/encode child spans
+// measured codec-only via the connection's latency capture. Call before
+// Start. Pass the same recorder to the Core (or tenant Cores) behind this
+// server so exec spans land in the same trees.
+func (s *Server) SetSpans(r *span.Recorder) { s.spans = r }
+
+// Draining reports whether Drain (or Close) has begun — the middlebox
+// contribution to a drain-aware /healthz.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
 
 // SetIdleTimeout bounds how long a connection may sit between requests
 // before it is reaped. The exec protocol is strict request/reply, so a
@@ -185,6 +203,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	if err != nil {
 		return // dead or protocol-confused peer: drop the connection
 	}
+	if s.spans.Enabled() {
+		wc.CaptureCodecLatency()
+	}
 	for {
 		// The closed check and any deadline reset share the mutex with
 		// Drain, so a drain nudge (an expired read deadline) can never be
@@ -202,10 +223,43 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := wc.ReadFrame(&req); err != nil {
 			return // EOF, idle timeout, or a broken/odd frame: drop the connection
 		}
+		var sctx span.Context
+		var parent uint64
+		var reqStart time.Time
+		if s.spans.Enabled() {
+			// Adopt the peer's trace context (stitching this server's tree
+			// under the client's span) and rewrite the request's context to
+			// the server root, so the Core's exec span lands under it. The
+			// decode child is bracketed from the connection's codec-latency
+			// capture — marshal time only, never the idle socket wait, so
+			// min-duration filters stay meaningful.
+			sctx, parent = s.spans.Adopt(span.Context{TraceID: req.TraceID, SpanID: req.SpanID})
+			reqStart = time.Now()
+			dec, _ := wc.LastCodecLatency()
+			s.spans.Record(span.Span{TraceID: sctx.TraceID, SpanID: s.spans.NewID(), ParentID: sctx.SpanID,
+				Name: "wire.decode", Tenant: req.Tenant, Start: reqStart.Add(-dec), End: reqStart})
+			req.TraceID, req.SpanID = sctx.TraceID, sctx.SpanID
+		}
 		s.sleep(s.sampleDelay()) // inbound network
 		reply := s.core.Handle(req)
 		s.sleep(s.sampleDelay()) // outbound network
-		if err := wc.WriteFrame(reply); err != nil {
+		werr := wc.WriteFrame(reply)
+		if sctx.Valid() {
+			end := time.Now()
+			if werr == nil {
+				_, enc := wc.LastCodecLatency()
+				s.spans.Record(span.Span{TraceID: sctx.TraceID, SpanID: s.spans.NewID(), ParentID: sctx.SpanID,
+					Name: "wire.encode", Tenant: req.Tenant, Start: end.Add(-enc), End: end})
+			}
+			root := span.Span{TraceID: sctx.TraceID, SpanID: sctx.SpanID, ParentID: parent,
+				Name: "server.request", Tenant: req.Tenant, Start: reqStart, End: end}
+			root.SetAttr("op", string(req.Op))
+			if reply.Error != "" {
+				root.Outcome = span.OutcomeError
+			}
+			s.spans.Record(root)
+		}
+		if werr != nil {
 			return
 		}
 	}

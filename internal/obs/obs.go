@@ -157,6 +157,11 @@ type Histogram struct {
 	// binary search. Purely a fast path — a stale or torn hint just falls
 	// back to the search.
 	hint atomic.Int32
+	// ex holds one exemplar trace id per bucket (len(bounds)+1): the trace
+	// id of the most recent traced observation that landed there, linking a
+	// bucket back to a tree on /debug/spans. Last-writer-wins per bucket —
+	// an exemplar is a sample, not an aggregate.
+	ex []atomic.Uint64
 }
 
 func newHistogram(buckets []time.Duration) *Histogram {
@@ -173,7 +178,8 @@ func newHistogram(buckets []time.Duration) *Histogram {
 		bounds[i] = n
 		prev = n
 	}
-	h := &Histogram{bounds: bounds, shards: make([]histShard, shardCount), mask: uint32(shardCount - 1)}
+	h := &Histogram{bounds: bounds, shards: make([]histShard, shardCount), mask: uint32(shardCount - 1),
+		ex: make([]atomic.Uint64, len(bounds)+1)}
 	for i := range h.shards {
 		h.shards[i].counts = make([]atomic.Uint64, len(bounds)+1)
 	}
@@ -200,6 +206,40 @@ func (h *Histogram) Observe(d time.Duration) {
 	s := &h.shards[shardIndex(h.mask)]
 	s.counts[i].Add(1)
 	s.sum.Add(n)
+}
+
+// ObserveExemplar records one duration and stamps the landing bucket's
+// exemplar with traceID (when non-zero), so the rendered histogram can link
+// each bucket to a recent trace. Off the untraced hot path: Observe never
+// touches exemplars; instrumented callers opt in per observation.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID uint64) {
+	n := int64(d)
+	if n < 0 {
+		n = 0
+	}
+	// Same hint fast path as Observe: traced streams cluster in one bucket
+	// too, and the traced hot path's budget is as tight as the untraced one.
+	i := int(h.hint.Load())
+	if i > len(h.bounds) || (i > 0 && n <= h.bounds[i-1]) || (i < len(h.bounds) && h.bounds[i] < n) {
+		i = h.rebucket(n)
+	}
+	s := &h.shards[shardIndex(h.mask)]
+	s.counts[i].Add(1)
+	s.sum.Add(n)
+	if traceID != 0 {
+		h.ex[i].Store(traceID)
+	}
+}
+
+// Exemplars returns the per-bucket exemplar trace ids (len(bounds)+1; the
+// final entry is the overflow bucket). Zero means no traced observation has
+// landed in that bucket.
+func (h *Histogram) Exemplars() []uint64 {
+	out := make([]uint64, len(h.ex))
+	for i := range h.ex {
+		out[i] = h.ex[i].Load()
+	}
+	return out
 }
 
 // rebucket is Observe's slow path: binary-search the bucket and refresh

@@ -245,6 +245,9 @@ func parseLabels(name string, kv []string) []label {
 		if kv[i] == "" {
 			panic("obs: " + name + ": empty label key")
 		}
+		if !validLabelName(kv[i]) {
+			panic("obs: " + name + ": invalid label key " + kv[i])
+		}
 		labels = append(labels, label{key: kv[i], value: kv[i+1]})
 	}
 	sort.SliceStable(labels, func(i, j int) bool { return labels[i].key < labels[j].key })
@@ -254,6 +257,25 @@ func parseLabels(name string, kv []string) []label {
 		}
 	}
 	return labels
+}
+
+// validLabelName applies the Prometheus label-name grammar
+// [a-zA-Z_][a-zA-Z0-9_]*: label keys are rendered unescaped into the
+// exposition, so a key outside the grammar would corrupt every scrape.
+func validLabelName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return len(s) > 0
 }
 
 // metricID renders the canonical child identity: the family name plus the

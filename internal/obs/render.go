@@ -105,6 +105,16 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// formatTraceID renders an exemplar trace id as the 16-hex-digit form
+// /debug/spans uses, so the two surfaces cross-reference directly.
+func formatTraceID(id uint64) string {
+	s := strconv.FormatUint(id, 16)
+	if n := 16 - len(s); n > 0 {
+		s = "0000000000000000"[:n] + s
+	}
+	return s
+}
+
 // Snapshot is the JSON shape of a registry render — the /snapshot endpoint
 // and the radwatch -obs payload.
 type Snapshot struct {
@@ -144,6 +154,11 @@ type Bucket struct {
 	LE         string `json:"le"`
 	UpperNanos int64  `json:"upperNanos"`
 	Count      uint64 `json:"count"` // cumulative
+	// ExemplarTraceID links this bucket to a recent traced observation: the
+	// 16-hex-digit trace id of the last ObserveExemplar that landed here,
+	// resolvable on /debug/spans. Empty when the bucket has never seen a
+	// traced observation.
+	ExemplarTraceID string `json:"exemplarTraceId,omitempty"`
 }
 
 // Quantile estimates the q-quantile (0 < q < 1) from the cumulative
@@ -189,6 +204,7 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Gauges = append(s.Gauges, GaugeSnapshot{Name: e.name, Labels: labels, Value: e.gaugeValue()})
 		case KindHistogram:
 			counts := e.hist.counts()
+			exemplars := e.hist.Exemplars()
 			hs := HistogramSnapshot{
 				Name: e.name, Labels: labels,
 				SumSeconds: float64(e.hist.Sum()) / 1e9,
@@ -201,6 +217,9 @@ func (r *Registry) Snapshot() Snapshot {
 				if i < len(e.hist.bounds) {
 					b.LE = formatFloat(float64(e.hist.bounds[i]) / 1e9)
 					b.UpperNanos = e.hist.bounds[i]
+				}
+				if id := exemplars[i]; id != 0 {
+					b.ExemplarTraceID = formatTraceID(id)
 				}
 				hs.Buckets = append(hs.Buckets, b)
 			}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// gcPauseWindow is how many recent GC pauses the p99 estimate covers —
+// matches the depth of runtime.MemStats' own PauseNs ring.
+const gcPauseWindow = 256
+
+// runtimeSampler serializes runtime.MemStats reads: ReadMemStats stops the
+// world briefly, so the pull-based families share one mutex-guarded buffer
+// rather than each racing its own read during a render.
+type runtimeSampler struct {
+	mu sync.Mutex
+	ms runtime.MemStats
+}
+
+func (s *runtimeSampler) read() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	runtime.ReadMemStats(&s.ms)
+	return s.ms
+}
+
+// gcPauseP99 estimates the 99th-percentile GC pause over the pauses still
+// held in the MemStats ring (up to gcPauseWindow), in seconds.
+func gcPauseP99(ms *runtime.MemStats) float64 {
+	n := int(ms.NumGC)
+	if n == 0 {
+		return 0
+	}
+	if n > gcPauseWindow {
+		n = gcPauseWindow
+	}
+	pauses := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		pauses = append(pauses, ms.PauseNs[(int(ms.NumGC)-1-i)%len(ms.PauseNs)])
+	}
+	sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+	idx := (len(pauses)*99 + 99) / 100 // ceil rank
+	if idx > len(pauses) {
+		idx = len(pauses)
+	}
+	return float64(pauses[idx-1]) / 1e9
+}
+
+// RegisterRuntimeMetrics adds Go runtime telemetry to the registry:
+//
+//	rad_go_goroutines            current goroutine count
+//	rad_go_heap_inuse_bytes      bytes in in-use heap spans
+//	rad_go_heap_alloc_bytes      bytes of allocated heap objects
+//	rad_go_gc_pause_p99_seconds  p99 GC pause over the last 256 cycles
+//	rad_go_gc_cycles_total       completed GC cycles
+//
+// All pull-based (GaugeFunc/CounterFunc): the process pays nothing between
+// scrapes. Idempotent per registry, like every registration.
+func RegisterRuntimeMetrics(r *Registry) {
+	s := &runtimeSampler{}
+	r.SetHelp("rad_go_goroutines", "Current number of goroutines.")
+	r.GaugeFunc("rad_go_goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.SetHelp("rad_go_heap_inuse_bytes", "Bytes in in-use heap spans.")
+	r.GaugeFunc("rad_go_heap_inuse_bytes", func() float64 {
+		ms := s.read()
+		return float64(ms.HeapInuse)
+	})
+	r.SetHelp("rad_go_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	r.GaugeFunc("rad_go_heap_alloc_bytes", func() float64 {
+		ms := s.read()
+		return float64(ms.HeapAlloc)
+	})
+	r.SetHelp("rad_go_gc_pause_p99_seconds", "99th-percentile GC pause over the last 256 cycles.")
+	r.GaugeFunc("rad_go_gc_pause_p99_seconds", func() float64 {
+		ms := s.read()
+		return gcPauseP99(&ms)
+	})
+	r.SetHelp("rad_go_gc_cycles_total", "Completed GC cycles.")
+	r.CounterFunc("rad_go_gc_cycles_total", func() uint64 {
+		ms := s.read()
+		return uint64(ms.NumGC)
+	})
+}

@@ -2,6 +2,8 @@ package store
 
 import (
 	"sync/atomic"
+
+	"rad/internal/obs/span"
 )
 
 // FailoverSink makes a primary sink's Append path lossless under write
@@ -20,6 +22,13 @@ type FailoverSink struct {
 	primary Sink
 	dlq     *DeadLetterQueue
 
+	// spans, when attached, records a "dlq.spill" span for every traced
+	// record the primary refused — the spill becomes visible in the
+	// record's trace tree, not just in aggregate counters. Immutable after
+	// SetSpans; nil-safe.
+	spans      *span.Recorder
+	spanTenant string
+
 	primaryErrs atomic.Uint64
 }
 
@@ -33,11 +42,41 @@ func NewFailoverSink(primary Sink, dlq *DeadLetterQueue) *FailoverSink {
 	return &FailoverSink{primary: primary, dlq: dlq}
 }
 
+// SetSpans attaches a span flight recorder for spill provenance; tenant
+// (may be empty) tags the spans. Call before serving traffic.
+func (s *FailoverSink) SetSpans(r *span.Recorder, tenant string) {
+	s.spans = r
+	s.spanTenant = tenant
+}
+
+// recordSpills emits one "dlq.spill" span per traced record in a spilled
+// batch. Point events at the record's own end time: the store has no clock
+// (by design — virtual-clock campaigns must stay deterministic), and the
+// spill's significance is which trace it happened to, not how long the
+// disk write took.
+func (s *FailoverSink) recordSpills(recs []Record) {
+	if !s.spans.Enabled() {
+		return
+	}
+	for i := range recs {
+		r := &recs[i]
+		if r.TraceID == 0 {
+			continue
+		}
+		sp := span.Span{TraceID: r.TraceID, SpanID: s.spans.NewID(), ParentID: r.SpanID,
+			Name: "dlq.spill", Tenant: s.spanTenant, Outcome: span.OutcomeError,
+			Start: r.EndTime, End: r.EndTime}
+		sp.SetAttr("device", r.Device)
+		s.spans.Record(sp)
+	}
+}
+
 // Append implements Sink. It only fails when both the primary and the
 // dead-letter disk refuse the record.
 func (s *FailoverSink) Append(r Record) error {
 	if err := s.primary.Append(r); err != nil {
 		s.primaryErrs.Add(1)
+		s.recordSpills([]Record{r})
 		return s.dlq.Spill([]Record{r})
 	}
 	return nil
@@ -48,6 +87,7 @@ func (s *FailoverSink) Append(r Record) error {
 func (s *FailoverSink) AppendBatch(recs []Record) error {
 	if err := AppendAll(s.primary, recs); err != nil {
 		s.primaryErrs.Add(1)
+		s.recordSpills(recs)
 		return s.dlq.Spill(recs)
 	}
 	return nil

@@ -35,6 +35,14 @@ type Record struct {
 	Run string `json:"run,omitempty"`
 	// Mode records whether the command was traced in DIRECT or REMOTE mode.
 	Mode string `json:"mode,omitempty"`
+
+	// TraceID/SpanID carry the in-process trace context of the exec that
+	// produced this record (internal/obs/span). They are observability-only
+	// plumbing — deliberately excluded from JSON, CSV, the tracedb codec,
+	// and campaign digests — so the persisted dataset and its byte-identity
+	// contracts are unchanged by tracing. Zero means untraced.
+	TraceID uint64 `json:"-"`
+	SpanID  uint64 `json:"-"`
 }
 
 // UnknownProcedure is the label applied to all commands that were not part

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"rad/internal/obs"
+	"rad/internal/obs/span"
 	"rad/internal/store"
 	"rad/internal/tracedb"
 	"rad/internal/wire"
@@ -29,6 +30,7 @@ type Server struct {
 	db       *tracedb.DB // snapshot source; nil disables snapshot-then-follow
 	proto    wire.Proto
 	wireM    *wire.Metrics
+	spans    *span.Recorder
 	resolver TenantResolver // nil: single-tenant listener
 	hb       HeartbeatConfig
 
@@ -61,6 +63,19 @@ func (s *Server) SetProtocol(p wire.Proto) { s.proto = p }
 // Observe registers per-protocol wire metrics in reg (shared with any
 // other listener observing the same registry). Call before Start.
 func (s *Server) Observe(reg *obs.Registry) { s.wireM = wire.NewMetrics(reg) }
+
+// SetSpans attaches a span flight recorder: every traced record delivered
+// to a tailer gets a "stream.deliver" child span under the record's exec
+// span, closing the trace tree's last hop. Call before Start.
+func (s *Server) SetSpans(r *span.Recorder) { s.spans = r }
+
+// Draining reports whether Drain (or Close) has begun — the stream
+// listener's contribution to a drain-aware /healthz.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
 
 // TenantResolver maps a tenant-tagged Subscribe frame to that tenant's
 // broker and snapshot store (db may be nil: snapshot-then-follow disabled
@@ -193,7 +208,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		return
 	}
 	opts := subOptions(req, conn)
-	tc := &tailConn{wc: wc}
+	tc := &tailConn{wc: wc, tenant: req.Tenant}
 
 	if req.ResumeFrom > 0 {
 		// Exactly-once resume: replay [ResumeFrom, now) from the store via
@@ -239,6 +254,8 @@ func (s *Server) serveConn(conn net.Conn) {
 type tailConn struct {
 	mu sync.Mutex
 	wc *wire.Conn
+	// tenant is the subscription's tenant tag, carried onto delivery spans.
+	tenant string
 }
 
 func (tc *tailConn) write(v any) error {
@@ -374,7 +391,10 @@ func (s *Server) pump(tc *tailConn, sub *Subscriber, reportedDrops uint64) {
 }
 
 // writeEvent frames one event, attaching the number of events shed since the
-// previous frame so the client's drop accounting stays exact.
+// previous frame so the client's drop accounting stays exact. Traced records
+// carry their trace context onto the frame (so the tailer can stitch), and a
+// successful delivery records a "stream.deliver" child span — the last hop
+// of the record's trace tree.
 func (s *Server) writeEvent(tc *tailConn, ev Event, sub *Subscriber, reported *uint64) error {
 	frame := wire.Event{}
 	switch ev.Kind {
@@ -382,6 +402,7 @@ func (s *Server) writeEvent(tc *tailConn, ev Event, sub *Subscriber, reported *u
 		rec := ev.Record
 		frame.Kind = wire.EventTrace
 		frame.Record = &rec
+		frame.TraceID, frame.SpanID = rec.TraceID, rec.SpanID
 	case KindPower:
 		sample := ev.Sample
 		frame.Kind = wire.EventPower
@@ -393,7 +414,18 @@ func (s *Server) writeEvent(tc *tailConn, ev Event, sub *Subscriber, reported *u
 		frame.Dropped = dropped - *reported
 		*reported = dropped
 	}
-	return tc.write(frame)
+	err := tc.write(frame)
+	if err == nil && frame.TraceID != 0 && s.spans.Enabled() {
+		// A point event at the record's own timestamp: the stream layer has
+		// no injected clock (deliveries are wall-time anyway), and what the
+		// tree needs is which subscriber got the record, not a duration.
+		rec := ev.Record
+		sp := span.Span{TraceID: frame.TraceID, SpanID: s.spans.NewID(), ParentID: frame.SpanID,
+			Name: "stream.deliver", Tenant: tc.tenant, Start: rec.EndTime, End: rec.EndTime}
+		sp.SetAttr("subscriber", sub.name)
+		s.spans.Record(sp)
+	}
+	return err
 }
 
 // track registers a connection's subscriber for shutdown; it reports false

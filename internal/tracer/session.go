@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"rad/internal/device"
+	"rad/internal/obs/span"
 	"rad/internal/simclock"
 	"rad/internal/wire"
 )
@@ -75,6 +77,12 @@ type Session struct {
 	traceCh chan wire.Request
 	done    chan struct{}
 	closed  bool
+
+	// spans, when attached, records a client-side root span per Exec and
+	// stamps its context into the outgoing request, stitching the
+	// middlebox's server/exec spans under the client's across the wire.
+	// Immutable after SetSpans; nil-safe.
+	spans *span.Recorder
 }
 
 // NewSession creates a session over the given transport.
@@ -111,6 +119,10 @@ func (s *Session) uploadLoop() {
 		s.mu.Unlock()
 	}
 }
+
+// SetSpans attaches a span flight recorder. Call before handing out
+// Virtuals — it is not synchronized with in-flight Execs.
+func (s *Session) SetSpans(r *span.Recorder) { s.spans = r }
 
 // AttachLocal connects a device locally (required for DIRECT mode, where the
 // device stays wired to the lab computer).
@@ -230,6 +242,21 @@ func (v *Virtual) Exec(cmd device.Command) (string, error) {
 		if err != nil {
 			req.Error = err.Error()
 		}
+		if sctx := s.spans.NewContext(); sctx.Valid() {
+			// The client span brackets the local exec; the upload request
+			// carries its context so the middlebox's trace-ingest span
+			// stitches under it even though the upload is asynchronous.
+			req.TraceID, req.SpanID = sctx.TraceID, sctx.SpanID
+			sp := span.Span{TraceID: sctx.TraceID, SpanID: sctx.SpanID,
+				Name: "client.exec", Start: start, End: end}
+			sp.SetAttr("device", v.name)
+			sp.SetAttr("command", cmd.Name)
+			sp.SetAttr("mode", "DIRECT")
+			if err != nil {
+				sp.Outcome = span.OutcomeError
+			}
+			s.spans.Record(sp)
+		}
 		if syncTrace {
 			if _, terr := s.transport.RoundTrip(req); terr != nil {
 				s.mu.Lock()
@@ -254,7 +281,25 @@ func (v *Virtual) Exec(cmd device.Command) (string, error) {
 			Op: wire.OpExec, Device: v.name, Name: cmd.Name, Args: cmd.Args,
 			Procedure: proc, Run: run,
 		}
+		var sctx span.Context
+		var start time.Time
+		if s.spans.Enabled() {
+			sctx = s.spans.NewContext()
+			req.TraceID, req.SpanID = sctx.TraceID, sctx.SpanID
+			start = s.clock.Now()
+		}
 		reply, err := s.transport.RoundTrip(req)
+		if sctx.Valid() {
+			sp := span.Span{TraceID: sctx.TraceID, SpanID: sctx.SpanID,
+				Name: "client.exec", Start: start, End: s.clock.Now()}
+			sp.SetAttr("device", v.name)
+			sp.SetAttr("command", cmd.Name)
+			sp.SetAttr("mode", "REMOTE")
+			if err != nil || reply.Error != "" {
+				sp.Outcome = span.OutcomeError
+			}
+			s.spans.Record(sp)
+		}
 		if err != nil {
 			return "", fmt.Errorf("tracer: remote exec %s: %w", cmd.Name, err)
 		}

@@ -71,6 +71,8 @@ const (
 	reqProcedure
 	reqRun
 	reqTenant
+	reqTraceID
+	reqSpanID
 )
 
 // Reply field tags.
@@ -104,6 +106,8 @@ const (
 	evDropped
 	evError
 	evGap
+	evTraceID
+	evSpanID
 )
 
 // Ping/Pong field tags (both frames share the one-field shape).
@@ -306,6 +310,8 @@ func appendRequest(b []byte, q *Request) []byte {
 	b = putStr(b, reqProcedure, q.Procedure)
 	b = putStr(b, reqRun, q.Run)
 	b = putStr(b, reqTenant, q.Tenant)
+	b = putUint(b, reqTraceID, q.TraceID)
+	b = putUint(b, reqSpanID, q.SpanID)
 	return b
 }
 
@@ -348,6 +354,8 @@ func appendEvent(b []byte, e *Event) []byte {
 	b = putUint(b, evDropped, e.Dropped)
 	b = putStr(b, evError, e.Error)
 	b = putUint(b, evGap, e.Gap)
+	b = putUint(b, evTraceID, e.TraceID)
+	b = putUint(b, evSpanID, e.SpanID)
 	return b
 }
 
@@ -600,6 +608,10 @@ func decodeRequest(r *breader, q *Request) {
 			q.Run = r.str()
 		case reqTenant:
 			q.Tenant = r.vocabStr()
+		case reqTraceID:
+			q.TraceID = r.uvarint()
+		case reqSpanID:
+			q.SpanID = r.uvarint()
 		default:
 			r.fail("request: unknown field tag %d", t)
 			return
@@ -694,6 +706,10 @@ func decodeEvent(r *breader, e *Event) {
 			e.Error = r.str()
 		case evGap:
 			e.Gap = r.uvarint()
+		case evTraceID:
+			e.TraceID = r.uvarint()
+		case evSpanID:
+			e.SpanID = r.uvarint()
 		default:
 			r.fail("event: unknown field tag %d", t)
 			return

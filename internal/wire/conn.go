@@ -136,6 +136,14 @@ type Conn struct {
 	// touched from the read path, which is single-threaded per direction, so
 	// it needs no lock; its growth is bounded by MaxConnVocab.
 	vocab connVocab
+
+	// capture, when set, retains the latest per-frame codec latencies for
+	// LastCodecLatency. Like the metrics timers it measures the marshal step
+	// only — never socket I/O — so a span built from it reflects codec work,
+	// not idle wait. Single-threaded per direction, like the codec itself.
+	capture bool
+	lastDec time.Duration
+	lastEnc time.Duration
 }
 
 // NewConn wraps rw speaking the given version directly, with no handshake
@@ -367,11 +375,22 @@ func (c *Conn) writeV2(v any) error {
 	return nil
 }
 
+// CaptureCodecLatency turns on per-frame codec-latency capture so a server
+// can record wire decode/encode spans without attaching full Metrics.
+func (c *Conn) CaptureCodecLatency() { c.capture = true }
+
+// LastCodecLatency reports the codec time of the most recent read and write
+// on this connection. Zero until CaptureCodecLatency is enabled and a frame
+// has moved in that direction.
+func (c *Conn) LastCodecLatency() (dec, enc time.Duration) {
+	return c.lastDec, c.lastEnc
+}
+
 // stamp returns the encode/decode timer start, or the zero time when the
 // connection is uninstrumented — the hot path pays nothing for metrics it
 // does not have.
 func (c *Conn) stamp() time.Time {
-	if c.m == nil {
+	if c.m == nil && !c.capture {
 		return time.Time{}
 	}
 	return time.Now()
@@ -384,19 +403,31 @@ func (c *Conn) countConn() {
 }
 
 func (c *Conn) observeRead(start time.Time) {
-	if c.m == nil {
+	if c.m == nil && !c.capture {
 		return
 	}
-	i := c.version - V1
-	c.m.rx[i].Inc()
-	c.m.dec[i].Observe(time.Since(start))
+	d := time.Since(start)
+	if c.capture {
+		c.lastDec = d
+	}
+	if c.m != nil {
+		i := c.version - V1
+		c.m.rx[i].Inc()
+		c.m.dec[i].Observe(d)
+	}
 }
 
 func (c *Conn) observeWrite(start time.Time) {
-	if c.m == nil {
+	if c.m == nil && !c.capture {
 		return
 	}
-	i := c.version - V1
-	c.m.tx[i].Inc()
-	c.m.enc[i].Observe(time.Since(start))
+	d := time.Since(start)
+	if c.capture {
+		c.lastEnc = d
+	}
+	if c.m != nil {
+		i := c.version - V1
+		c.m.tx[i].Inc()
+		c.m.enc[i].Observe(d)
+	}
 }

@@ -181,6 +181,78 @@ func FuzzSubscribeResumeFrame(f *testing.F) {
 	})
 }
 
+// FuzzTraceContextFrame pins the trace-context propagation contract: the
+// TraceID/SpanID pair on Request and Event must survive both encodings
+// exactly (v1 JSON omitempty, v2 tagged uvarint pair omitted when zero),
+// a zero pair must add zero bytes to the v2 frame — the wire must cost
+// nothing for untraced peers — and arbitrary bytes on either reader must
+// never panic.
+func FuzzTraceContextFrame(f *testing.F) {
+	f.Add(uint64(0), uint64(0), "C9", []byte{})
+	f.Add(uint64(1), uint64(2), "ARM", []byte("garbage"))
+	f.Add(^uint64(0), uint64(1)<<63, "", []byte{0x03, binRequest, reqTraceID, 0xff})
+	f.Add(uint64(0x9e3779b97f4a7c15), uint64(7), "move_joints", []byte{0x02, binEvent, evSpanID})
+	var v2valid bytes.Buffer
+	_ = NewConn(&v2valid, V2, nil).WriteFrame(Request{ID: 1, Op: OpExec, TraceID: 5, SpanID: 6})
+	f.Add(uint64(5), uint64(6), "w", v2valid.Bytes())
+	var v1valid bytes.Buffer
+	_ = WriteFrame(&v1valid, Event{Kind: EventTrace, TraceID: 5, SpanID: 6})
+	f.Add(uint64(5), uint64(6), "e", v1valid.Bytes())
+
+	f.Fuzz(func(t *testing.T, traceID, spanID uint64, name string, data []byte) {
+		if !utf8.ValidString(name) {
+			t.Skip() // the v1 JSON encoder rewrites invalid UTF-8
+		}
+		req := Request{ID: 1, Op: OpExec, Device: "C9", Name: name, TraceID: traceID, SpanID: spanID}
+		ev := Event{Kind: EventTrace, TraceID: traceID, SpanID: spanID}
+
+		var v1buf bytes.Buffer
+		if err := WriteFrame(&v1buf, req); err != nil {
+			t.Skip() // oversized by construction
+		}
+		var v1req Request
+		if err := ReadFrame(&v1buf, &v1req); err != nil {
+			t.Fatalf("v1 decode of just-encoded traced request: %v", err)
+		}
+		if v1req.TraceID != traceID || v1req.SpanID != spanID {
+			t.Fatalf("v1 trace context round trip: got %x/%x want %x/%x",
+				v1req.TraceID, v1req.SpanID, traceID, spanID)
+		}
+
+		for _, pair := range []struct {
+			in  any
+			out any
+		}{{&req, new(Request)}, {&ev, new(Event)}} {
+			payload, err := appendBinaryFrame(nil, pair.in)
+			if err != nil {
+				t.Fatalf("v2 encode %T: %v", pair.in, err)
+			}
+			if err := decodeBinaryFrame(payload, pair.out); err != nil {
+				t.Fatalf("v2 decode of just-encoded %T: %v (payload % x)", pair.in, err, payload)
+			}
+		}
+
+		// The zero pair must be free on the wire: an untraced frame encodes
+		// to exactly the bytes it produced before tracing existed.
+		if traceID != 0 || spanID != 0 {
+			traced, _ := appendBinaryFrame(nil, &req)
+			bare := req
+			bare.TraceID, bare.SpanID = 0, 0
+			untraced, _ := appendBinaryFrame(nil, &bare)
+			if len(traced) <= len(untraced) {
+				t.Fatalf("traced frame (%d bytes) not larger than untraced (%d)", len(traced), len(untraced))
+			}
+		}
+
+		// Hardening: arbitrary bytes on either version's reader must produce
+		// a frame or an error, never a panic.
+		for _, dst := range []any{new(Request), new(Event)} {
+			_ = ReadFrame(bytes.NewReader(data), dst)
+			_ = NewConn(bytes.NewBuffer(append([]byte(nil), data...)), V2, nil).ReadFrame(dst)
+		}
+	})
+}
+
 // FuzzPooledFrameSequence hardens the buffer pooling: a long frame followed
 // by shorter frames reuses the same pooled buffers, and every frame must
 // still round-trip to exactly itself — no byte of one frame may leak into
@@ -246,13 +318,14 @@ func FuzzBinaryFrameRoundTrip(f *testing.F) {
 		frames := []any{
 			&Request{ID: id, Op: OpExec, Device: dev, Name: name, Args: args,
 				Value: value, Error: errStr, StartNanos: nanos, EndNanos: -nanos,
-				Procedure: "P1", Run: value},
+				Procedure: "P1", Run: value, TraceID: count, SpanID: id},
 			&Reply{ID: id, Value: value, Error: errStr},
 			&Subscribe{Op: OpSubscribe, Name: name, Device: dev, Key: value,
 				Snapshot: flag, Power: !flag, Policy: PolicyDropOldest, Buffer: int(uint32(count))},
-			&Event{Kind: EventTrace, Dropped: count, Record: &store.Record{
-				Seq: id, Time: when, EndTime: when, Device: dev, Name: name,
-				Args: args, Response: value, Exception: errStr, Mode: "REMOTE"}},
+			&Event{Kind: EventTrace, Dropped: count, TraceID: count, SpanID: id,
+				Record: &store.Record{
+					Seq: id, Time: when, EndTime: when, Device: dev, Name: name,
+					Args: args, Response: value, Exception: errStr, Mode: "REMOTE"}},
 			&Event{Kind: EventPower, Sample: &power.Sample{Time: when, Values: []float64{val, -val, 0}}},
 		}
 		for _, in := range frames {

@@ -127,6 +127,12 @@ type Event struct {
 	// requested resume point and the store's retention floor — replay the
 	// client asked for that retention has already discarded.
 	Gap uint64 `json:"gap,omitempty"`
+	// TraceID/SpanID carry the trace context of the exec that produced this
+	// event's record (internal/obs/span), so a tailer can stitch delivery
+	// into the originating request's tree. Zero means untraced; omitted from
+	// the frame entirely when zero, in both encodings.
+	TraceID uint64 `json:"traceId,omitempty"`
+	SpanID  uint64 `json:"spanId,omitempty"`
 }
 
 // Ping is a server → client liveness probe on a v2 tail connection; the

@@ -84,6 +84,14 @@ type Request struct {
 	EndNanos   int64  `json:"endNanos,omitempty"`
 	Procedure  string `json:"procedure,omitempty"`
 	Run        string `json:"run,omitempty"`
+
+	// TraceID/SpanID propagate the client's trace context (internal/obs/span)
+	// so the middlebox stitches its server-side spans under the caller's.
+	// Zero — the zero value — means "untraced", so peers that predate tracing
+	// interoperate unchanged: the pair is omitted from the frame entirely when
+	// zero, in both encodings, exactly like Tenant.
+	TraceID uint64 `json:"traceId,omitempty"`
+	SpanID  uint64 `json:"spanId,omitempty"`
 }
 
 // Reply is one middlebox → lab-computer message.

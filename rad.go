@@ -15,6 +15,7 @@ import (
 	"rad/internal/ids"
 	"rad/internal/middlebox"
 	"rad/internal/obs"
+	"rad/internal/obs/span"
 	"rad/internal/parallel"
 	"rad/internal/power"
 	"rad/internal/procedure"
@@ -528,6 +529,54 @@ var (
 // tasks, active workers) into reg. Package-level: the parallel kernels have
 // no object to hang an Observe method on.
 var ObserveParallel = parallel.Observe
+
+// RegisterRuntimeMetrics adds Go runtime telemetry (goroutines, heap
+// in-use/alloc, GC cycle count and pause p99) to reg as pull-based gauges.
+var RegisterRuntimeMetrics = obs.RegisterRuntimeMetrics
+
+// MetricsMuxOptions extends the telemetry mux: a Health callback makes
+// /healthz drain-aware (503 once shutdown begins), and a Spans handler
+// mounts the flight recorder at /debug/spans.
+type MetricsMuxOptions = obs.MuxOptions
+
+// NewMetricsMuxWith is NewMetricsMux plus MetricsMuxOptions.
+var NewMetricsMuxWith = obs.ServeMuxWith
+
+// --- Request tracing (internal/obs/span) ---
+
+// SpanRecorder is the process-wide span flight recorder: bounded per-CPU
+// ring buffers holding recent request trace trees (client → server.request
+// → wire/exec/store/stream children). Always-on and dependency-free; a nil
+// recorder is a valid no-op, so untraced deployments pay one pointer check.
+type SpanRecorder = span.Recorder
+
+// Span tracing surface: spans and their trace-context pair, recorder
+// configuration, assembled trees with filters, recorder accounting, and
+// per-tenant rollups.
+type (
+	Span             = span.Span
+	SpanContext      = span.Context
+	SpanConfig       = span.Config
+	SpanTree         = span.Tree
+	SpanTreeJSON     = span.TreeJSON
+	SpanPageJSON     = span.PageJSON
+	SpanFilter       = span.Filter
+	SpanStats        = span.Stats
+	SpanTenantRollup = span.TenantRollup
+)
+
+// NewSpanRecorder builds a recorder; SpanHandler serves its recent trace
+// trees as /debug/spans (JSON and human-readable text, filterable);
+// SpanTreesJSON and WriteSpanTrees convert and pretty-print assembled
+// trees (radwatch -spans uses both ends of that pair).
+var (
+	NewSpanRecorder = span.NewRecorder
+	SpanHandler     = span.Handler
+	SpanTreesJSON   = span.TreesJSON
+	WriteSpanTrees  = span.WriteTrees
+	SpanFormatID    = span.FormatID
+	SpanParseID     = span.ParseID
+)
 
 // --- The virtual lab and procedures ---
 
